@@ -1,0 +1,52 @@
+//! Wall-clock microbenchmarks of the forwarding tables: the real data
+//! structures the simulated router executes (not the virtual-time
+//! models). One criterion group per algorithm.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ps_bench::workloads;
+use ps_lookup::dir24::Dir24Table;
+use ps_lookup::synth;
+use ps_lookup::waldvogel::V6Table;
+
+fn dir24(c: &mut Criterion) {
+    let routes = workloads::ipv4_routes(100_000, 1);
+    let table = Dir24Table::build(&routes);
+    let addrs = synth::random_v4_addrs(4096, 2);
+    let mut g = c.benchmark_group("dir24");
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function("lookup_4k_random", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &a in &addrs {
+                acc = acc.wrapping_add(u32::from(table.lookup_host(black_box(a))));
+            }
+            acc
+        })
+    });
+    g.finish();
+
+    c.bench_function("dir24/build_100k_prefixes", |b| {
+        b.iter(|| Dir24Table::build(black_box(&routes)))
+    });
+}
+
+fn waldvogel(c: &mut Criterion) {
+    let routes = workloads::ipv6_routes(50_000, 1);
+    let table = V6Table::build(&routes);
+    let addrs = synth::random_v6_addrs(4096, 3);
+    let mut g = c.benchmark_group("waldvogel");
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function("lookup_4k_random", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &a in &addrs {
+                acc = acc.wrapping_add(u32::from(table.lookup_host(black_box(a))));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, dir24, waldvogel);
+criterion_main!(benches);

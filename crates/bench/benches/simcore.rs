@@ -1,0 +1,50 @@
+//! Wall-clock microbenchmarks of the simulation substrate itself:
+//! event-queue throughput and a short end-to-end router run (how many
+//! virtual packets per host-second the reproduction simulates).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ps_core::apps::{ForwardPattern, MinimalApp};
+use ps_core::{Router, RouterConfig};
+use ps_pktgen::TrafficSpec;
+use ps_sim::{Model, Scheduler, Simulation, MILLIS};
+
+struct Pong {
+    left: u64,
+}
+
+impl Model for Pong {
+    type Event = u64;
+    fn handle(&mut self, sched: &mut Scheduler<u64>, ev: u64) {
+        if self.left > 0 {
+            self.left -= 1;
+            sched.after(10, ev + 1);
+        }
+    }
+}
+
+fn event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim-core");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("dispatch_100k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(Pong { left: 100_000 });
+            sim.schedule(0, 0);
+            black_box(sim.run_to_completion())
+        })
+    });
+    g.finish();
+}
+
+fn router_run(c: &mut Criterion) {
+    c.bench_function("router/minimal_forwarding_1ms_20G", |b| {
+        b.iter(|| {
+            let cfg = RouterConfig::paper_cpu();
+            let app = MinimalApp::new(ForwardPattern::SameNode, 8);
+            let r = Router::run(cfg, app, TrafficSpec::ipv4_64b(20.0, 1), MILLIS);
+            black_box(r.delivered.packets)
+        })
+    });
+}
+
+criterion_group!(benches, event_queue, router_run);
+criterion_main!(benches);

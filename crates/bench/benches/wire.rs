@@ -1,0 +1,46 @@
+//! Wall-clock microbenchmarks of the wire-format hot paths: parsing,
+//! classification, RSS hashing, checksum updates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ps_core::router::rss_hash;
+use ps_net::ethernet::MacAddr;
+use ps_net::ipv4::Ipv4Packet;
+use ps_net::{classify, FlowKey, PacketBuilder};
+
+fn frame() -> Vec<u8> {
+    PacketBuilder::udp_v4(
+        MacAddr::local(1),
+        MacAddr::local(2),
+        "10.1.2.3".parse().unwrap(),
+        "172.16.9.9".parse().unwrap(),
+        4000,
+        53,
+        64,
+    )
+}
+
+fn parse_paths(c: &mut Criterion) {
+    let f = frame();
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("classify_64B", |b| {
+        b.iter(|| classify(black_box(&f), &[]))
+    });
+    g.bench_function("flow_key_extract", |b| {
+        b.iter(|| FlowKey::extract(3, black_box(&f)).expect("valid"))
+    });
+    g.bench_function("rss_toeplitz_hash", |b| b.iter(|| rss_hash(black_box(&f))));
+    g.bench_function("ttl_decrement_incremental_checksum", |b| {
+        let mut f = frame();
+        b.iter(|| {
+            let mut ip = Ipv4Packet::new_unchecked(&mut f[14..]);
+            ip.set_ttl(64);
+            ip.fill_checksum();
+            ip.decrement_ttl()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, parse_paths);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! `ps-bench` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! ps-bench all            # everything, paper order
+//! ps-bench table1         # PCIe transfer rates
+//! ps-bench fig2           # IPv6 lookup, CPU vs GPU vs batch size
+//! ps-bench table3 fig5 fig6 numa
+//! ps-bench fig11a fig11b fig11c fig11d fig12
+//! ps-bench launch spec
+//! ps-bench ablate-gather ablate-streams ablate-opportunistic
+//! ```
+//!
+//! `PS_BENCH_MS` sets the virtual milliseconds per throughput run
+//! (default 2; the README uses 4 for smoother numbers).
+
+use ps_bench::experiments as ex;
+use ps_bench::timed;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: ps-bench <experiment>...   (or: ps-bench all)");
+        eprintln!("experiments: spec table1 launch fig2 table3 fig5 fig6 numa");
+        eprintln!("             fig11a fig11b fig11c fig11d fig12");
+        eprintln!("             ablate-gather ablate-streams ablate-opportunistic all");
+        std::process::exit(2);
+    }
+    for arg in &args {
+        let ((), secs) = timed(|| dispatch(arg));
+        println!("[{arg}: simulated in {secs:.1}s wall clock]");
+    }
+}
+
+fn dispatch(name: &str) {
+    match name {
+        "all" => ex::run_all(),
+        "spec" => {
+            ex::micro::spec_table2();
+        }
+        "table1" => {
+            ex::micro::table1_pcie();
+        }
+        "launch" => {
+            ex::micro::launch_latency();
+        }
+        "fig2" => {
+            ex::fig2::run();
+        }
+        "table3" => {
+            ex::io::table3_breakdown();
+        }
+        "fig5" => {
+            ex::io::fig5_batching();
+        }
+        "fig6" => {
+            ex::io::fig6_io_engine();
+        }
+        "numa" => {
+            ex::io::numa_placement();
+        }
+        "fig11a" => {
+            ex::apps::fig11a_ipv4();
+        }
+        "fig11b" => {
+            ex::apps::fig11b_ipv6();
+        }
+        "fig11c" => {
+            ex::apps::fig11c_openflow();
+        }
+        "fig11d" => {
+            ex::apps::fig11d_ipsec();
+        }
+        "fig12" => {
+            ex::latency::fig12();
+        }
+        "ablate-gather" => {
+            ex::ablations::gather_scatter();
+        }
+        "ablate-streams" => {
+            ex::ablations::concurrent_copy();
+        }
+        "ablate-opportunistic" => {
+            ex::ablations::opportunistic();
+        }
+        "dbg-ipsec" => {
+            use ps_core::apps::IpsecApp;
+            use ps_core::{Router, RouterConfig};
+            use ps_pktgen::{TrafficKind, TrafficSpec};
+            for (size, concurrent) in [(64usize, true), (64, false), (1514, true)] {
+                let mut cfg = RouterConfig::paper_gpu();
+                cfg.concurrent_copy = concurrent;
+                let spec = TrafficSpec {
+                    kind: TrafficKind::Ipv4Udp,
+                    frame_len: size,
+                    offered_bits: 40_000_000_000,
+                    ports: 8,
+                    seed: 42,
+                    flows: None,
+                };
+                let app = IpsecApp::new([0x42; 16], 0xD00D, b"dbg");
+                let r = Router::run(cfg, app, spec, 8 * ps_sim::MILLIS);
+                println!(
+                    "size={size} streams={concurrent} in_gbps(input)={:.1} kernels={} shade_batch={:.1} rx_drops={:?} p50={}us ioh_d2h={:.1?} ioh_h2d={:.1?}",
+                    r.out_gbps_input_sized(size),
+                    r.gpu_kernels,
+                    r.mean_shade_batch,
+                    r.drop_split,
+                    r.latency.p50() / 1000,
+                    r.ioh_d2h_gbit,
+                    r.ioh_h2d_gbit,
+                );
+            }
+        }
+        "dbg-gpu" => {
+            use ps_core::{Router, RouterConfig};
+            use ps_pktgen::{TrafficKind, TrafficSpec};
+            let cfg = RouterConfig::paper_gpu();
+            let spec = TrafficSpec {
+                kind: TrafficKind::Ipv4Udp,
+                frame_len: 64,
+                offered_bits: 80_000_000_000,
+                ports: 8,
+                seed: 42,
+                flows: None,
+            };
+            let app = ps_bench::workloads::ipv4_app(50_000, 1);
+            let r = Router::run(cfg, app, spec, 2 * ps_sim::MILLIS);
+            println!("out={:.1} Gbps in={:.1}", r.out_gbps(), r.in_gbps());
+            println!(
+                "rx_drops={} app_drops={} slow={} kernels={} shade_batch={:.1} rx_batch={:.1} p50={}us",
+                r.rx_drops, r.app_drops, r.slow_path, r.gpu_kernels,
+                r.mean_shade_batch, r.mean_rx_batch, r.latency.p50() / 1000,
+            );
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            std::process::exit(2);
+        }
+    }
+}

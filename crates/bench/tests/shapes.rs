@@ -1,0 +1,82 @@
+//! Scaled-down shape checks of the paper reproduction: who wins, by
+//! roughly what factor, where crossovers fall. These run the same
+//! experiment code as the `ps-bench` binary with smaller tables and
+//! shorter windows (set via `PS_BENCH_MS` internally where needed).
+
+use ps_bench::experiments as ex;
+
+#[test]
+fn fig5_endpoints_and_speedup() {
+    let rows = ex::io::fig5_batching();
+    let b1 = rows.iter().find(|r| r.0 == 1).unwrap().1;
+    let b64 = rows.iter().find(|r| r.0 == 64).unwrap().1;
+    assert!((0.6..1.0).contains(&b1), "batch=1 {b1} (paper 0.78)");
+    assert!((9.0..11.5).contains(&b64), "batch=64 {b64} (paper 10.5)");
+    let speedup = b64 / b1;
+    assert!((11.0..16.0).contains(&speedup), "speedup {speedup} (paper 13.5)");
+    // Monotone increasing throughput with batch size.
+    for w in rows.windows(2) {
+        assert!(w[1].1 >= w[0].1 * 0.98, "non-monotone at batch {}", w[1].0);
+    }
+}
+
+#[test]
+fn fig6_orderings() {
+    // TX > RX (dual-IOH asymmetry) and forwarding above 40 Gbps at
+    // 64 B, the §4.6 headline.
+    let rx = ex::io::rx_only_ceiling(64);
+    let tx = ex::io::tx_only_ceiling(64);
+    assert!(tx > rx, "TX {tx} must exceed RX {rx}");
+    assert!((50.0..64.0).contains(&rx), "RX {rx} (paper 53-60)");
+    assert!((75.0..81.0).contains(&tx), "TX {tx} (paper 79-80)");
+    let fwd = ex::io::forward_gbps(64, ps_core::apps::ForwardPattern::SameNode);
+    assert!((38.0..47.0).contains(&fwd), "forward {fwd} (paper ~41)");
+}
+
+#[test]
+fn numa_blind_costs_forty_percent() {
+    let (aware, blind) = ex::io::numa_placement();
+    assert!(aware > 38.0, "aware {aware}");
+    assert!(blind < aware * 0.72, "blind {blind} vs aware {aware} (paper <25 vs ~41)");
+}
+
+#[test]
+fn fig11a_gpu_wins_at_small_packets_only() {
+    let rows = ex::apps::fig11a_with(20_000, &[64, 1514]);
+    let (_, cpu64, gpu64) = rows[0];
+    let (_, cpu1514, gpu1514) = rows[1];
+    // 64 B: GPU clearly ahead (paper 28 -> 39).
+    assert!(gpu64 > cpu64 * 1.2, "64B: gpu {gpu64} cpu {cpu64}");
+    assert!((25.0..33.0).contains(&cpu64), "cpu64 {cpu64} (paper ~28)");
+    assert!((34.0..46.0).contains(&gpu64), "gpu64 {gpu64} (paper ~39)");
+    // 1514 B: both I/O bound near 40 Gbps.
+    assert!((cpu1514 - gpu1514).abs() / cpu1514 < 0.15, "{cpu1514} vs {gpu1514}");
+}
+
+#[test]
+fn fig11b_gpu_factor_is_large_for_ipv6() {
+    let rows = ex::apps::fig11b_with(20_000, &[64]);
+    let (_, cpu, gpu) = rows[0];
+    assert!((5.0..11.0).contains(&cpu), "cpu {cpu} (paper ~8)");
+    assert!((35.0..45.0).contains(&gpu), "gpu {gpu} (paper ~38)");
+    assert!(gpu / cpu > 3.5, "gain {} (paper ~4.8x)", gpu / cpu);
+}
+
+#[test]
+fn fig11d_ipsec_gain_matches_paper_band() {
+    let rows = ex::apps::fig11d_with(&[256]);
+    let (_, cpu, gpu) = rows[0];
+    assert!(gpu / cpu > 2.0, "gain {} (paper ~3.5x)", gpu / cpu);
+    assert!(cpu > 2.0 && cpu < 9.0, "cpu {cpu}");
+    assert!(gpu > 8.0, "gpu {gpu}");
+}
+
+#[test]
+fn openflow_wildcard_offload_dominates_large_tables() {
+    // Small wildcard table: GPU >= CPU. Large: GPU >> CPU.
+    let (cpu_small, gpu_small) = ex::apps::run_openflow(0, 16);
+    let (cpu_large, gpu_large) = ex::apps::run_openflow(0, 256);
+    assert!(gpu_small >= cpu_small * 0.95, "{gpu_small} vs {cpu_small}");
+    assert!(gpu_large > cpu_large * 1.6, "{gpu_large} vs {cpu_large}");
+    assert!(cpu_large < cpu_small, "CPU must degrade with table size");
+}

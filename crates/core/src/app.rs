@@ -1,0 +1,65 @@
+//! The application interface: the three callbacks of §5.1 (pre-shader,
+//! shader, post-shader) plus a CPU-only path for the baseline mode.
+
+use ps_gpu::GpuEngine;
+use ps_hw::ioh::Ioh;
+use ps_io::Packet;
+use ps_sim::time::Time;
+
+/// Outcome of pre-shading a chunk.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PreShadeResult {
+    /// CPU cycles the worker spent (parsing, classification, header
+    /// rewrites, building the GPU input arrays).
+    pub cycles: u64,
+    /// Packets dropped (malformed, TTL expired, bad checksum).
+    pub dropped: u64,
+    /// Packets diverted to the host stack (destined to local, IP
+    /// options, non-IP).
+    pub slow_path: u64,
+}
+
+/// A PacketShader application.
+///
+/// The router calls, in order: [`App::pre_shade`] on a worker; then
+/// either [`App::process_cpu`] (CPU-only mode) or [`App::shade`] on
+/// the master + [`App::post_shade_cycles`] back on the worker
+/// (CPU+GPU mode). All packet mutation is real; the returned
+/// cycle/time values drive the virtual clock.
+pub trait App {
+    /// Application name for reports.
+    fn name(&self) -> &str;
+
+    /// Upload persistent state (table images, keys) to node `node`'s
+    /// GPU. Called once per device before the simulation starts.
+    fn setup_gpu(&mut self, node: usize, eng: &mut GpuEngine);
+
+    /// Pre-shading (worker): classify, rewrite headers, stage GPU
+    /// inputs. Must retain only fast-path packets in `pkts`.
+    fn pre_shade(&mut self, pkts: &mut Vec<Packet>) -> PreShadeResult;
+
+    /// The whole application on the CPU (CPU-only mode), *after*
+    /// [`App::pre_shade`] has run. Returns cycles spent. Must set
+    /// `out_port` on every packet (or drop by removing it).
+    fn process_cpu(&mut self, pkts: &mut Vec<Packet>) -> u64;
+
+    /// Shading (master): move inputs to the GPU, launch kernels, move
+    /// results back, apply them to `pkts` (set `out_port`, rewrite
+    /// payloads). `ready` is when the input data is available; the
+    /// returned time is when the results are back in host memory.
+    fn shade(
+        &mut self,
+        node: usize,
+        eng: &mut GpuEngine,
+        ioh: &mut Ioh,
+        ready: Time,
+        pkts: &mut [Packet],
+    ) -> Time;
+
+    /// Post-shading cycles on the worker for an `n`-packet chunk
+    /// (splitting results, queueing to TX ports).
+    fn post_shade_cycles(&self, n: usize) -> u64 {
+        // Default: ~30 cycles per packet of result application.
+        30 * n as u64
+    }
+}

@@ -1,0 +1,302 @@
+//! IPv4 forwarding (§6.2.1): DIR-24-8 lookup, GPU-offloaded or on
+//! the CPU.
+
+use std::net::Ipv4Addr;
+
+use ps_gpu::{DeviceBuffer, GpuEngine};
+use ps_hw::ioh::Ioh;
+use ps_io::Packet;
+use ps_lookup::dir24::{self, Dir24Table};
+use ps_lookup::mem::{CountingMem, SliceMem};
+use ps_lookup::route::Route4;
+use ps_lookup::NO_ROUTE;
+use ps_net::ethernet::HEADER_LEN as ETH_LEN;
+use ps_net::ipv4::Ipv4Packet;
+use ps_net::{classify, Verdict};
+use ps_nic::port::PortId;
+use ps_sim::time::Time;
+
+use super::{CYCLES_PER_NS, ROUTER_LOOKUP_OVERLAP, TABLE_MISS_NS};
+use crate::app::{App, PreShadeResult};
+use crate::kernels::Ipv4Kernel;
+
+/// Per-packet pre-shading cycles: parse + verdict + TTL/checksum
+/// update + staging the destination address.
+const PRE_SHADE_CYCLES: u64 = 55;
+
+/// Maximum packets one gathered GPU launch can stage.
+pub const MAX_GATHER: usize = 65_536;
+
+struct NodeGpu {
+    table: DeviceBuffer,
+    input: DeviceBuffer,
+    output: DeviceBuffer,
+}
+
+/// The IPv4 router application.
+pub struct Ipv4App {
+    table: Dir24Table,
+    local: Vec<Ipv4Addr>,
+    gpu: Vec<Option<NodeGpu>>,
+    /// Per-node flag: device table image is stale after a FIB update
+    /// and must be re-uploaded before the next launch (the §7
+    /// double-buffering direction: the upload rides the normal copy
+    /// engine, so the data path keeps flowing).
+    dirty: Vec<bool>,
+    /// Lookups performed (for reports).
+    pub lookups: u64,
+}
+
+impl Ipv4App {
+    /// Build over a route list whose hops are output-port indices.
+    pub fn new(routes: &[Route4]) -> Ipv4App {
+        Ipv4App {
+            table: Dir24Table::build(routes),
+            local: Vec::new(),
+            gpu: Vec::new(),
+            dirty: Vec::new(),
+            lookups: 0,
+        }
+    }
+
+    /// Install (or replace) one route at run time — the control-plane
+    /// FIB update of §7. The CPU table updates in place; each GPU's
+    /// copy is re-uploaded lazily before its next launch.
+    pub fn install_route(&mut self, r: Route4) {
+        self.table.insert(r);
+        for d in &mut self.dirty {
+            *d = true;
+        }
+    }
+
+    /// Host-side lookup (shared by the CPU path and tests).
+    pub fn lookup_host(&self, addr: u32) -> u16 {
+        self.table.lookup_host(addr)
+    }
+
+    fn ensure_node(&mut self, node: usize) {
+        if self.gpu.len() <= node {
+            self.gpu.resize_with(node + 1, || None);
+            self.dirty.resize(node + 1, false);
+        }
+    }
+}
+
+impl App for Ipv4App {
+    fn name(&self) -> &str {
+        "ipv4"
+    }
+
+    fn setup_gpu(&mut self, node: usize, eng: &mut GpuEngine) {
+        self.ensure_node(node);
+        let table = eng.dev.mem.alloc(self.table.image().len());
+        eng.dev.mem.write(&table, 0, self.table.image());
+        let input = eng.dev.mem.alloc(MAX_GATHER * 4);
+        let output = eng.dev.mem.alloc(MAX_GATHER * 2);
+        self.gpu[node] = Some(NodeGpu {
+            table,
+            input,
+            output,
+        });
+    }
+
+    fn pre_shade(&mut self, pkts: &mut Vec<Packet>) -> PreShadeResult {
+        let mut r = PreShadeResult::default();
+        pkts.retain_mut(|p| match classify(&p.data, &self.local) {
+            Verdict::FastPath => {
+                let mut ip = Ipv4Packet::new_unchecked(&mut p.data[ETH_LEN..]);
+                ip.decrement_ttl();
+                true
+            }
+            Verdict::SlowPath(_) => {
+                r.slow_path += 1;
+                false
+            }
+            Verdict::Drop(_) => {
+                r.dropped += 1;
+                false
+            }
+        });
+        r.cycles = PRE_SHADE_CYCLES * (pkts.len() as u64 + r.dropped + r.slow_path);
+        r
+    }
+
+    fn process_cpu(&mut self, pkts: &mut Vec<Packet>) -> u64 {
+        let mut accesses = 0u64;
+        for p in pkts.iter_mut() {
+            let ip = Ipv4Packet::new_unchecked(&p.data[ETH_LEN..]);
+            let dst = u32::from(ip.dst());
+            let mut mem = CountingMem::new(SliceMem::new(self.table.image()));
+            let hop = dir24::lookup(&self.table.layout(), &mut mem, dst);
+            accesses += mem.accesses;
+            self.lookups += 1;
+            p.out_port = (hop != NO_ROUTE).then_some(PortId(hop));
+        }
+        pkts.retain(|p| p.out_port.is_some());
+        // Each access is a dependent table miss; modest batch-loop
+        // overlap (see EXPERIMENTS.md calibration notes).
+        let miss_ns = accesses as f64 * TABLE_MISS_NS as f64 / ROUTER_LOOKUP_OVERLAP;
+        (miss_ns * CYCLES_PER_NS) as u64 + 30 * pkts.len() as u64
+    }
+
+    fn shade(
+        &mut self,
+        node: usize,
+        eng: &mut GpuEngine,
+        ioh: &mut Ioh,
+        ready: Time,
+        pkts: &mut [Packet],
+    ) -> Time {
+        let n = pkts.len().min(MAX_GATHER);
+        let g = self.gpu[node].as_ref().expect("setup_gpu ran");
+        let (table, input, output) = (g.table, g.input, g.output);
+        // A pending FIB update re-uploads the table image first; the
+        // copy is charged like any other transfer (§7: "incremental
+        // update or double buffering").
+        let mut ready = ready;
+        if self.dirty.get(node).copied().unwrap_or(false) {
+            let image = self.table.image().to_vec();
+            ready = eng.copy_h2d(ready, ioh, &table, 0, &image);
+            self.dirty[node] = false;
+        }
+        // Stage destination addresses (pre-shading built this array;
+        // the copy models the host->device transfer of it).
+        let mut staged = Vec::with_capacity(n * 4);
+        for p in &pkts[..n] {
+            let ip = Ipv4Packet::new_unchecked(&p.data[ETH_LEN..]);
+            staged.extend_from_slice(&u32::from(ip.dst()).to_le_bytes());
+        }
+        let h2d = eng.copy_h2d(ready, ioh, &input, 0, &staged);
+        let kernel = Ipv4Kernel {
+            table,
+            layout: self.table.layout(),
+            input,
+            output,
+            n: n as u32,
+        };
+        let (kdone, _) = eng.launch(h2d, &kernel, n as u32);
+        let mut hops = vec![0u8; n * 2];
+        let done = eng.copy_d2h(ready, kdone, ioh, &output, 0, &mut hops);
+        for (i, p) in pkts[..n].iter_mut().enumerate() {
+            let hop = u16::from_le_bytes([hops[i * 2], hops[i * 2 + 1]]);
+            self.lookups += 1;
+            p.out_port = (hop != NO_ROUTE).then_some(PortId(hop));
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_hw::pcie::PcieModel;
+    use ps_hw::spec::{IohSpec, PcieSpec};
+    use ps_net::ethernet::MacAddr;
+    use ps_net::PacketBuilder;
+
+    fn routes() -> Vec<Route4> {
+        vec![
+            Route4::new(0x0A000000, 8, 1),
+            Route4::new(0x0A0B0000, 16, 2),
+            Route4::new(0x00000000, 1, 6), // 0.0.0.0/1
+            Route4::new(0x80000000, 1, 7), // 128.0.0.0/1
+        ]
+    }
+
+    fn packet(dst: Ipv4Addr) -> Packet {
+        let f = PacketBuilder::udp_v4(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            Ipv4Addr::new(9, 9, 9, 9),
+            dst,
+            100,
+            200,
+            64,
+        );
+        Packet::new(0, f, PortId(0), 0)
+    }
+
+    #[test]
+    fn cpu_path_routes_and_decrements_ttl() {
+        let mut app = Ipv4App::new(&routes());
+        let mut pkts = vec![packet(Ipv4Addr::new(10, 11, 1, 1))];
+        let r = app.pre_shade(&mut pkts);
+        assert_eq!(r.dropped, 0);
+        let cycles = app.process_cpu(&mut pkts);
+        assert!(cycles > 0);
+        assert_eq!(pkts[0].out_port, Some(PortId(2)));
+        let ip = Ipv4Packet::new_unchecked(&pkts[0].data[ETH_LEN..]);
+        assert_eq!(ip.ttl(), 63);
+        assert!(ip.verify_checksum());
+    }
+
+    #[test]
+    fn gpu_path_agrees_with_cpu_path() {
+        let mut app = Ipv4App::new(&routes());
+        let dev = ps_gpu::GpuDevice::gtx480_with_mem(64 << 20);
+        let mut eng = GpuEngine::new(dev, PcieModel::new(PcieSpec::dual_ioh_x16()));
+        let mut ioh = Ioh::new(IohSpec::intel_5520_dual());
+        app.setup_gpu(0, &mut eng);
+
+        let dsts = [
+            Ipv4Addr::new(10, 11, 1, 1),
+            Ipv4Addr::new(10, 200, 0, 1),
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(200, 1, 1, 1),
+        ];
+        let mut gpu_pkts: Vec<Packet> = dsts.iter().map(|&d| packet(d)).collect();
+        let mut cpu_pkts: Vec<Packet> = dsts.iter().map(|&d| packet(d)).collect();
+
+        app.pre_shade(&mut gpu_pkts);
+        let done = app.shade(0, &mut eng, &mut ioh, 0, &mut gpu_pkts);
+        assert!(done > 0);
+
+        app.pre_shade(&mut cpu_pkts);
+        app.process_cpu(&mut cpu_pkts);
+
+        let gpu_ports: Vec<_> = gpu_pkts.iter().map(|p| p.out_port).collect();
+        let cpu_ports: Vec<_> = cpu_pkts.iter().map(|p| p.out_port).collect();
+        assert_eq!(gpu_ports, cpu_ports);
+        assert_eq!(gpu_ports, vec![
+            Some(PortId(2)),
+            Some(PortId(1)),
+            Some(PortId(6)),
+            Some(PortId(7)),
+        ]);
+    }
+
+    #[test]
+    fn fib_update_propagates_to_the_gpu_table() {
+        let mut app = Ipv4App::new(&routes());
+        let dev = ps_gpu::GpuDevice::gtx480_with_mem(64 << 20);
+        let mut eng = GpuEngine::new(dev, PcieModel::new(PcieSpec::dual_ioh_x16()));
+        let mut ioh = Ioh::new(IohSpec::intel_5520_dual());
+        app.setup_gpu(0, &mut eng);
+
+        let dst = Ipv4Addr::new(10, 11, 200, 1);
+        let mut before = vec![packet(dst)];
+        app.pre_shade(&mut before);
+        app.shade(0, &mut eng, &mut ioh, 0, &mut before);
+        assert_eq!(before[0].out_port, Some(PortId(2)), "pre-update: /16");
+
+        // Control plane installs a more specific route at run time.
+        app.install_route(Route4::new(0x0A0BC800, 24, 5));
+        let mut after = vec![packet(dst)];
+        app.pre_shade(&mut after);
+        let t = app.shade(0, &mut eng, &mut ioh, 0, &mut after);
+        assert!(t > 0);
+        assert_eq!(after[0].out_port, Some(PortId(5)), "post-update: new /24");
+        assert_eq!(app.lookup_host(u32::from(dst)), 5, "CPU table agrees");
+    }
+
+    #[test]
+    fn malformed_packets_dropped_in_pre_shade() {
+        let mut app = Ipv4App::new(&routes());
+        let mut bad = packet(Ipv4Addr::new(10, 0, 0, 1));
+        bad.data[ETH_LEN + 12] ^= 0xFF; // corrupt checksum
+        let mut pkts = vec![bad, packet(Ipv4Addr::new(10, 0, 0, 1))];
+        let r = app.pre_shade(&mut pkts);
+        assert_eq!(r.dropped, 1);
+        assert_eq!(pkts.len(), 1);
+    }
+}

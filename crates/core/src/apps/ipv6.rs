@@ -1,0 +1,222 @@
+//! IPv6 forwarding (§6.2.2): binary search on prefix lengths, the
+//! memory-intensive workload where GPU latency hiding shines.
+
+use ps_gpu::{DeviceBuffer, GpuEngine};
+use ps_hw::ioh::Ioh;
+use ps_io::Packet;
+use ps_lookup::mem::{CountingMem, SliceMem};
+use ps_lookup::route::Route6;
+use ps_lookup::waldvogel::{self, V6Table};
+use ps_lookup::NO_ROUTE;
+use ps_net::ethernet::HEADER_LEN as ETH_LEN;
+use ps_net::ipv6::Ipv6Packet;
+use ps_net::{classify, Verdict};
+use ps_nic::port::PortId;
+use ps_sim::time::Time;
+
+use super::{CYCLES_PER_NS, ROUTER_LOOKUP_OVERLAP, TABLE_MISS_NS};
+use crate::app::{App, PreShadeResult};
+use crate::kernels::Ipv6Kernel;
+
+/// Per-packet pre-shading cycles (IPv6 parses a bigger header and
+/// stages 16 B per packet).
+const PRE_SHADE_CYCLES: u64 = 65;
+
+/// Maximum packets one gathered launch stages (16 B per packet).
+pub const MAX_GATHER: usize = 65_536;
+
+struct NodeGpu {
+    table: DeviceBuffer,
+    input: DeviceBuffer,
+    output: DeviceBuffer,
+}
+
+/// The IPv6 router application.
+pub struct Ipv6App {
+    table: V6Table,
+    gpu: Vec<Option<NodeGpu>>,
+    /// Lookups performed.
+    pub lookups: u64,
+}
+
+impl Ipv6App {
+    /// Build over a route list whose hops are output-port indices.
+    pub fn new(routes: &[Route6]) -> Ipv6App {
+        Ipv6App {
+            table: V6Table::build(routes),
+            gpu: Vec::new(),
+            lookups: 0,
+        }
+    }
+
+    /// Host-side lookup.
+    pub fn lookup_host(&self, addr: u128) -> u16 {
+        self.table.lookup_host(addr)
+    }
+
+    fn ensure_node(&mut self, node: usize) {
+        if self.gpu.len() <= node {
+            self.gpu.resize_with(node + 1, || None);
+        }
+    }
+}
+
+impl App for Ipv6App {
+    fn name(&self) -> &str {
+        "ipv6"
+    }
+
+    fn setup_gpu(&mut self, node: usize, eng: &mut GpuEngine) {
+        self.ensure_node(node);
+        let table = eng.dev.mem.alloc(self.table.image().len().max(64));
+        eng.dev.mem.write(&table, 0, self.table.image());
+        let input = eng.dev.mem.alloc(MAX_GATHER * 16);
+        let output = eng.dev.mem.alloc(MAX_GATHER * 2);
+        self.gpu[node] = Some(NodeGpu {
+            table,
+            input,
+            output,
+        });
+    }
+
+    fn pre_shade(&mut self, pkts: &mut Vec<Packet>) -> PreShadeResult {
+        let mut r = PreShadeResult::default();
+        pkts.retain_mut(|p| match classify(&p.data, &[]) {
+            Verdict::FastPath => {
+                let mut ip = Ipv6Packet::new_unchecked(&mut p.data[ETH_LEN..]);
+                ip.decrement_hop_limit();
+                true
+            }
+            Verdict::SlowPath(_) => {
+                r.slow_path += 1;
+                false
+            }
+            Verdict::Drop(_) => {
+                r.dropped += 1;
+                false
+            }
+        });
+        r.cycles = PRE_SHADE_CYCLES * (pkts.len() as u64 + r.dropped + r.slow_path);
+        r
+    }
+
+    fn process_cpu(&mut self, pkts: &mut Vec<Packet>) -> u64 {
+        let mut accesses = 0u64;
+        for p in pkts.iter_mut() {
+            let ip = Ipv6Packet::new_unchecked(&p.data[ETH_LEN..]);
+            let dst = u128::from(ip.dst());
+            let mut mem = CountingMem::new(SliceMem::new(self.table.image()));
+            let hop = waldvogel::lookup(self.table.layout(), &mut mem, dst);
+            accesses += mem.accesses;
+            self.lookups += 1;
+            p.out_port = (hop != NO_ROUTE).then_some(PortId(hop));
+        }
+        pkts.retain(|p| p.out_port.is_some());
+        // Seven dependent probes per packet, each a table miss plus
+        // ~16 hash ops.
+        let miss_ns = accesses as f64 * TABLE_MISS_NS as f64 / ROUTER_LOOKUP_OVERLAP;
+        (miss_ns * CYCLES_PER_NS) as u64 + (16 * accesses + 30 * pkts.len() as u64)
+    }
+
+    fn shade(
+        &mut self,
+        node: usize,
+        eng: &mut GpuEngine,
+        ioh: &mut Ioh,
+        ready: Time,
+        pkts: &mut [Packet],
+    ) -> Time {
+        let n = pkts.len().min(MAX_GATHER);
+        let g = self.gpu[node].as_ref().expect("setup_gpu ran");
+        let (table, input, output) = (g.table, g.input, g.output);
+        let mut staged = Vec::with_capacity(n * 16);
+        for p in &pkts[..n] {
+            let ip = Ipv6Packet::new_unchecked(&p.data[ETH_LEN..]);
+            staged.extend_from_slice(&ip.dst().octets());
+        }
+        let h2d = eng.copy_h2d(ready, ioh, &input, 0, &staged);
+        let kernel = Ipv6Kernel {
+            table,
+            layout: self.table.layout().clone(),
+            input,
+            output,
+            n: n as u32,
+        };
+        let (kdone, _) = eng.launch(h2d, &kernel, n as u32);
+        let mut hops = vec![0u8; n * 2];
+        let done = eng.copy_d2h(ready, kdone, ioh, &output, 0, &mut hops);
+        for (i, p) in pkts[..n].iter_mut().enumerate() {
+            let hop = u16::from_le_bytes([hops[i * 2], hops[i * 2 + 1]]);
+            self.lookups += 1;
+            p.out_port = (hop != NO_ROUTE).then_some(PortId(hop));
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_hw::pcie::PcieModel;
+    use ps_hw::spec::{IohSpec, PcieSpec};
+    use ps_net::ethernet::MacAddr;
+    use ps_net::PacketBuilder;
+    use std::net::Ipv6Addr;
+
+    fn routes() -> Vec<Route6> {
+        vec![
+            Route6::new(0x2001_0db8u128 << 96, 32, 2),
+            Route6::new(0x2000u128 << 112, 4, 1), // 2000::/4 covers GUA
+        ]
+    }
+
+    fn packet(dst: Ipv6Addr) -> Packet {
+        let f = PacketBuilder::udp_v6(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            "2001:db8::99".parse().unwrap(),
+            dst,
+            100,
+            200,
+            80,
+        );
+        Packet::new(0, f, PortId(0), 0)
+    }
+
+    #[test]
+    fn cpu_path_routes_and_decrements_hop_limit() {
+        let mut app = Ipv6App::new(&routes());
+        let mut pkts = vec![packet("2001:db8::1".parse().unwrap())];
+        app.pre_shade(&mut pkts);
+        let cycles = app.process_cpu(&mut pkts);
+        assert!(cycles > 100, "probes should cost real cycles: {cycles}");
+        assert_eq!(pkts[0].out_port, Some(PortId(2)));
+        let ip = Ipv6Packet::new_unchecked(&pkts[0].data[ETH_LEN..]);
+        assert_eq!(ip.hop_limit(), 63);
+    }
+
+    #[test]
+    fn gpu_path_agrees_with_cpu_path() {
+        let mut app = Ipv6App::new(&routes());
+        let dev = ps_gpu::GpuDevice::gtx480_with_mem(64 << 20);
+        let mut eng = GpuEngine::new(dev, PcieModel::new(PcieSpec::dual_ioh_x16()));
+        let mut ioh = Ioh::new(IohSpec::intel_5520_dual());
+        app.setup_gpu(0, &mut eng);
+
+        let dsts: Vec<Ipv6Addr> = vec![
+            "2001:db8::1".parse().unwrap(),
+            "2001:dead::1".parse().unwrap(),
+            "2abc::9".parse().unwrap(),
+        ];
+        let mut gpu_pkts: Vec<Packet> = dsts.iter().map(|&d| packet(d)).collect();
+        let mut cpu_pkts: Vec<Packet> = dsts.iter().map(|&d| packet(d)).collect();
+        app.pre_shade(&mut gpu_pkts);
+        app.shade(0, &mut eng, &mut ioh, 0, &mut gpu_pkts);
+        app.pre_shade(&mut cpu_pkts);
+        app.process_cpu(&mut cpu_pkts);
+        let g: Vec<_> = gpu_pkts.iter().map(|p| p.out_port).collect();
+        let c: Vec<_> = cpu_pkts.iter().map(|p| p.out_port).collect();
+        assert_eq!(g, c);
+        assert_eq!(g, vec![Some(PortId(2)), Some(PortId(1)), Some(PortId(1))]);
+    }
+}

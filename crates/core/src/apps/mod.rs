@@ -1,0 +1,30 @@
+//! The applications evaluated in §6: minimal forwarding (the packet
+//! I/O experiments of §4.6), IPv4/IPv6 forwarding, OpenFlow switching
+//! and IPsec tunneling — each with a CPU-only path and a GPU shading
+//! path over the same functional code.
+
+mod ipsec;
+mod ipv4;
+mod ipv6;
+mod minimal;
+mod openflow;
+
+pub use ipsec::IpsecApp;
+pub use ipv4::Ipv4App;
+pub use ipv6::Ipv6App;
+pub use minimal::{ForwardPattern, MinimalApp};
+pub use openflow::OpenFlowApp;
+
+/// Effective DRAM latency (ns) for a random access into a multi-MB
+/// table image: row miss + TLB walk on Nehalem. Used by the CPU-only
+/// lookup paths; see EXPERIMENTS.md calibration notes.
+pub const TABLE_MISS_NS: u64 = 105;
+
+/// Cycles per nanosecond at 2.66 GHz, for converting latency into the
+/// cycle budgets the worker model charges.
+pub const CYCLES_PER_NS: f64 = 2.66;
+
+/// In-router software-pipelining overlap for dependent table misses:
+/// the batch loop interleaves packets, but I/O work competes for MSHRs
+/// (cf. the tight lookup-only loop of Figure 2, which reaches ~3x).
+pub const ROUTER_LOOKUP_OVERLAP: f64 = 1.3;

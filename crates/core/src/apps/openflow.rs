@@ -1,0 +1,305 @@
+//! The OpenFlow switch application (§6.2.3): flow-key extraction and
+//! exact matching on the CPU; hash computation and wildcard matching
+//! offloaded to the GPU.
+
+use ps_gpu::{DeviceBuffer, GpuEngine};
+use ps_hw::ioh::Ioh;
+use ps_io::Packet;
+use ps_net::FlowKey;
+use ps_nic::port::PortId;
+use ps_openflow::{Action, OpenFlowSwitch, ENTRY_SIZE};
+use ps_sim::time::Time;
+
+use super::{CYCLES_PER_NS, TABLE_MISS_NS};
+use crate::app::{App, PreShadeResult};
+use crate::kernels::{OpenFlowKernel, OF_NO_MATCH};
+
+/// Flow-key extraction cycles per packet (header parsing + field
+/// packing).
+const KEY_EXTRACT_CYCLES: u64 = 80;
+/// Flow-key hash on the CPU. The reference switch hashes the full
+/// padded key structure per packet; ~160 cycles on Nehalem (the cost
+/// the paper found worth offloading, §6.3).
+const HASH_CYCLES: u64 = 160;
+/// Exact-table probe when the bucket is cache-resident.
+const EXACT_PROBE_CYCLES: u64 = 30;
+/// Per-scanned-entry wildcard compare cost (entries are 64 B,
+/// LLC-resident for the evaluated sizes).
+const WILDCARD_ENTRY_CYCLES: u64 = 14;
+/// LLC size for the cached-fraction estimate (8 MB on the X5550).
+const LLC_BYTES: u64 = 8 << 20;
+/// Approximate bytes per exact-table entry (key + action + bucket
+/// overhead).
+const EXACT_ENTRY_BYTES: u64 = 48;
+
+/// Maximum packets one gathered launch stages (32 B keys).
+pub const MAX_GATHER: usize = 65_536;
+
+struct NodeGpu {
+    wildcard: DeviceBuffer,
+    n_wildcard: usize,
+    shared_image: Option<std::sync::Arc<Vec<u8>>>,
+    input: DeviceBuffer,
+    output: DeviceBuffer,
+}
+
+/// The OpenFlow switch application.
+pub struct OpenFlowApp {
+    /// The switch state (public so experiments can install flows).
+    pub switch: OpenFlowSwitch,
+    gpu: Vec<Option<NodeGpu>>,
+}
+
+impl OpenFlowApp {
+    /// A switch with the given tables pre-installed.
+    pub fn new(switch: OpenFlowSwitch) -> OpenFlowApp {
+        OpenFlowApp {
+            switch,
+            gpu: Vec::new(),
+        }
+    }
+
+    fn exact_probe_cycles(&self) -> u64 {
+        // Blend cached and missing probes by the table's LLC overflow.
+        let bytes = self.switch.exact.len() as u64 * EXACT_ENTRY_BYTES;
+        let miss_frac = ((bytes as f64 / LLC_BYTES as f64) - 1.0).clamp(0.0, 1.0);
+        EXACT_PROBE_CYCLES + (miss_frac * TABLE_MISS_NS as f64 * CYCLES_PER_NS) as u64
+    }
+
+    fn apply(&mut self, p: &mut Packet, action: Action) {
+        match action {
+            Action::Output(port) => p.out_port = Some(PortId(port)),
+            Action::Drop | Action::Controller => p.out_port = None,
+        }
+    }
+}
+
+impl App for OpenFlowApp {
+    fn name(&self) -> &str {
+        "openflow"
+    }
+
+    fn setup_gpu(&mut self, node: usize, eng: &mut GpuEngine) {
+        if self.gpu.len() <= node {
+            self.gpu.resize_with(node + 1, || None);
+        }
+        let image = self.switch.wildcard.to_image();
+        let wildcard = eng.dev.mem.alloc(image.len().max(ENTRY_SIZE));
+        eng.dev.mem.write(&wildcard, 0, &image);
+        let shared_image = (image.len() <= crate::kernels::OF_SHARED_LIMIT)
+            .then(|| std::sync::Arc::new(image));
+        let input = eng.dev.mem.alloc(MAX_GATHER * 32);
+        let output = eng.dev.mem.alloc(MAX_GATHER * 8);
+        self.gpu[node] = Some(NodeGpu {
+            wildcard,
+            n_wildcard: self.switch.wildcard.len(),
+            shared_image,
+            input,
+            output,
+        });
+    }
+
+    fn pre_shade(&mut self, pkts: &mut Vec<Packet>) -> PreShadeResult {
+        let mut r = PreShadeResult::default();
+        // Key extraction (validity check only; the key itself is
+        // recomputed where needed — the cycle charge happens once,
+        // here).
+        pkts.retain(|p| {
+            if FlowKey::extract(p.in_port.0, &p.data).is_ok() {
+                true
+            } else {
+                r.dropped += 1;
+                false
+            }
+        });
+        r.cycles = KEY_EXTRACT_CYCLES * (pkts.len() as u64 + r.dropped);
+        r
+    }
+
+    fn process_cpu(&mut self, pkts: &mut Vec<Packet>) -> u64 {
+        let mut cycles = 0;
+        let probe = self.exact_probe_cycles();
+        for p in pkts.iter_mut() {
+            let key = FlowKey::extract(p.in_port.0, &p.data).expect("pre-shaded");
+            let r = self.switch.lookup(&key, p.len() as u64);
+            cycles += HASH_CYCLES + probe + WILDCARD_ENTRY_CYCLES * r.wildcard_scanned as u64;
+            self.apply(p, r.action);
+        }
+        pkts.retain(|p| p.out_port.is_some());
+        cycles
+    }
+
+    fn shade(
+        &mut self,
+        node: usize,
+        eng: &mut GpuEngine,
+        ioh: &mut Ioh,
+        ready: Time,
+        pkts: &mut [Packet],
+    ) -> Time {
+        let n = pkts.len().min(MAX_GATHER);
+        let g = self.gpu[node].as_ref().expect("setup_gpu ran");
+        let (wildcard, n_wildcard, input, output) =
+            (g.wildcard, g.n_wildcard, g.input, g.output);
+        let shared_image = g.shared_image.clone();
+        let mut staged = vec![0u8; n * 32];
+        for (i, p) in pkts[..n].iter().enumerate() {
+            let key = FlowKey::extract(p.in_port.0, &p.data).expect("pre-shaded");
+            staged[i * 32..i * 32 + 31].copy_from_slice(&key.to_bytes());
+        }
+        let h2d = eng.copy_h2d(ready, ioh, &input, 0, &staged);
+        let kernel = OpenFlowKernel {
+            wildcard,
+            n_wildcard,
+            shared_image,
+            input,
+            output,
+            n: n as u32,
+        };
+        let (kdone, _) = eng.launch(h2d, &kernel, n as u32);
+        let mut out = vec![0u8; n * 8];
+        let done = eng.copy_d2h(ready, kdone, ioh, &output, 0, &mut out);
+
+        // Result application: exact-match resolution with the
+        // GPU-computed hash; wildcard action as fallback (functional
+        // part of post-shading).
+        for (i, p) in pkts[..n].iter_mut().enumerate() {
+            let o = i * 8;
+            let hash = u32::from_le_bytes(out[o..o + 4].try_into().expect("fixed"));
+            let wild_action = u16::from_le_bytes([out[o + 4], out[o + 5]]);
+            let key = FlowKey::extract(p.in_port.0, &p.data).expect("pre-shaded");
+            let action = match self.switch.exact.lookup_with_hash(hash, &key, p.len() as u64) {
+                Some(a) => a,
+                None if wild_action != OF_NO_MATCH => Action::decode(wild_action),
+                None => {
+                    self.switch.misses += 1;
+                    Action::Controller
+                }
+            };
+            self.apply(p, action);
+        }
+        done
+    }
+
+    fn post_shade_cycles(&self, n: usize) -> u64 {
+        // Exact-table resolution runs on the worker after the GPU
+        // returns hashes.
+        (self.exact_probe_cycles() + 30) * n as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_hw::pcie::PcieModel;
+    use ps_hw::spec::{IohSpec, PcieSpec};
+    use ps_net::ethernet::MacAddr;
+    use ps_openflow::WildcardEntry;
+    use ps_net::PacketBuilder;
+    use ps_openflow::wildcard::wc;
+    use std::net::Ipv4Addr;
+
+    fn packet(dst: Ipv4Addr, dport: u16, in_port: u16) -> Packet {
+        let f = PacketBuilder::udp_v4(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            Ipv4Addr::new(9, 9, 9, 9),
+            dst,
+            4242,
+            dport,
+            64,
+        );
+        Packet::new(0, f, PortId(in_port), 0)
+    }
+
+    fn switch() -> OpenFlowSwitch {
+        let mut sw = OpenFlowSwitch::new();
+        // Exact entry for one specific flow.
+        let key = FlowKey::extract(0, &packet(Ipv4Addr::new(1, 2, 3, 4), 80, 0).data).unwrap();
+        sw.add_exact(key, Action::Output(5));
+        // Wildcard: anything to 10/8 -> port 2.
+        sw.add_wildcard(WildcardEntry {
+            fields: wc::NW_DST,
+            priority: 10,
+            key: FlowKey {
+                nw_dst: 0x0A000000,
+                ..FlowKey::default()
+            },
+            nw_src_mask: 0,
+            nw_dst_mask: 0xFF000000,
+            action: Action::Output(2),
+        });
+        sw
+    }
+
+    #[test]
+    fn cpu_path_exact_beats_wildcard() {
+        let mut app = OpenFlowApp::new(switch());
+        let mut pkts = vec![
+            packet(Ipv4Addr::new(1, 2, 3, 4), 80, 0),  // exact -> 5
+            packet(Ipv4Addr::new(10, 9, 9, 9), 81, 1), // wildcard -> 2
+            packet(Ipv4Addr::new(99, 9, 9, 9), 81, 1), // miss -> controller
+        ];
+        app.pre_shade(&mut pkts);
+        app.process_cpu(&mut pkts);
+        let ports: Vec<_> = pkts.iter().map(|p| p.out_port).collect();
+        assert_eq!(ports, vec![Some(PortId(5)), Some(PortId(2))]);
+        assert_eq!(app.switch.misses, 1);
+    }
+
+    #[test]
+    fn gpu_path_agrees_with_cpu_path() {
+        let mut cpu_app = OpenFlowApp::new(switch());
+        let mut gpu_app = OpenFlowApp::new(switch());
+        let dev = ps_gpu::GpuDevice::gtx480_with_mem(32 << 20);
+        let mut eng = GpuEngine::new(dev, PcieModel::new(PcieSpec::dual_ioh_x16()));
+        let mut ioh = Ioh::new(IohSpec::intel_5520_dual());
+        gpu_app.setup_gpu(0, &mut eng);
+
+        let mk = || {
+            vec![
+                packet(Ipv4Addr::new(1, 2, 3, 4), 80, 0),
+                packet(Ipv4Addr::new(10, 9, 9, 9), 81, 1),
+                packet(Ipv4Addr::new(99, 9, 9, 9), 81, 1),
+                packet(Ipv4Addr::new(10, 0, 0, 1), 53, 2),
+            ]
+        };
+        let mut a = mk();
+        let mut b = mk();
+        cpu_app.pre_shade(&mut a);
+        cpu_app.process_cpu(&mut a);
+        gpu_app.pre_shade(&mut b);
+        let done = gpu_app.shade(0, &mut eng, &mut ioh, 0, &mut b);
+        assert!(done > 0);
+        b.retain(|p| p.out_port.is_some());
+        let cpu_ports: Vec<_> = a.iter().map(|p| (p.id, p.out_port)).collect();
+        let gpu_ports: Vec<_> = b.iter().map(|p| (p.id, p.out_port)).collect();
+        assert_eq!(cpu_ports, gpu_ports);
+        assert_eq!(cpu_app.switch.misses, gpu_app.switch.misses);
+    }
+
+    #[test]
+    fn flow_counters_update_on_either_path() {
+        let mut app = OpenFlowApp::new(switch());
+        let key = FlowKey::extract(0, &packet(Ipv4Addr::new(1, 2, 3, 4), 80, 0).data).unwrap();
+        let mut pkts = vec![packet(Ipv4Addr::new(1, 2, 3, 4), 80, 0)];
+        app.pre_shade(&mut pkts);
+        app.process_cpu(&mut pkts);
+        assert_eq!(app.switch.exact.stats(&key).unwrap().packets, 1);
+    }
+
+    #[test]
+    fn big_exact_table_costs_more_per_probe() {
+        let mut sw = OpenFlowSwitch::new();
+        for i in 0..300_000u32 {
+            let key = FlowKey {
+                nw_src: i,
+                ..FlowKey::default()
+            };
+            sw.add_exact(key, Action::Drop);
+        }
+        let big = OpenFlowApp::new(sw);
+        let small = OpenFlowApp::new(switch());
+        assert!(big.exact_probe_cycles() > small.exact_probe_cycles());
+    }
+}

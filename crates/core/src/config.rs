@@ -1,0 +1,119 @@
+//! Router configuration: the knobs the evaluation sweeps.
+
+use ps_hw::spec::Testbed;
+use ps_io::IoConfig;
+
+/// Execution mode (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Eight worker threads, no GPU.
+    CpuOnly,
+    /// Six workers + two masters driving the GPUs.
+    CpuGpu,
+}
+
+/// Full router configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// CPU-only or CPU+GPU.
+    pub mode: Mode,
+    /// Packet I/O engine knobs (batch cap, NUMA placement).
+    pub io: IoConfig,
+    /// Hardware constants.
+    pub testbed: Testbed,
+    /// NUMA nodes simulated (2 on the paper box; 1 for the
+    /// single-core experiments).
+    pub nodes: usize,
+    /// Worker threads per node (3 in CPU+GPU mode, 4 in CPU-only).
+    pub workers_per_node: usize,
+    /// Active 10 GbE ports total (8 on the paper box; 2 in Fig. 5).
+    pub ports: u16,
+    /// Concurrent copy & execution (§5.4; on for IPsec only).
+    pub concurrent_copy: bool,
+    /// Gather/scatter at the master (§5.4).
+    pub gather: bool,
+    /// Maximum chunks gathered into one shading step.
+    pub max_gather_chunks: usize,
+    /// Chunk pipelining depth per worker (1 = disabled, §5.4).
+    pub pipeline_depth: usize,
+    /// Opportunistic offloading (§7): small chunks take the CPU path.
+    pub opportunistic: bool,
+    /// Chunk-size threshold below which opportunistic offloading
+    /// stays on the CPU.
+    pub opportunistic_threshold: usize,
+    /// Device memory to allocate per simulated GPU (bytes). Sized to
+    /// the workload to keep host memory use reasonable.
+    pub gpu_mem_bytes: usize,
+}
+
+impl RouterConfig {
+    /// The paper's CPU+GPU configuration.
+    pub fn paper_gpu() -> RouterConfig {
+        RouterConfig {
+            mode: Mode::CpuGpu,
+            io: IoConfig::paper(),
+            testbed: Testbed::paper(),
+            nodes: 2,
+            workers_per_node: 3,
+            ports: 8,
+            concurrent_copy: false,
+            gather: true,
+            max_gather_chunks: 24,
+            pipeline_depth: 8,
+            opportunistic: false,
+            opportunistic_threshold: 16,
+            gpu_mem_bytes: 128 << 20,
+        }
+    }
+
+    /// The paper's CPU-only configuration (8 workers).
+    pub fn paper_cpu() -> RouterConfig {
+        RouterConfig {
+            mode: Mode::CpuOnly,
+            workers_per_node: 4,
+            ..RouterConfig::paper_gpu()
+        }
+    }
+
+    /// Figure 5's setup: one core, two ports, batch cap swept.
+    pub fn fig5(batch_cap: usize) -> RouterConfig {
+        RouterConfig {
+            mode: Mode::CpuOnly,
+            io: IoConfig {
+                batch_cap,
+                ..IoConfig::paper()
+            },
+            nodes: 1,
+            workers_per_node: 1,
+            ports: 2,
+            ..RouterConfig::paper_gpu()
+        }
+    }
+
+    /// Workers in the whole system.
+    pub fn total_workers(&self) -> usize {
+        self.nodes * self.workers_per_node
+    }
+
+    /// Ports per node.
+    pub fn ports_per_node(&self) -> u16 {
+        self.ports / self.nodes as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        let gpu = RouterConfig::paper_gpu();
+        assert_eq!(gpu.total_workers(), 6);
+        assert_eq!(gpu.ports_per_node(), 4);
+        let cpu = RouterConfig::paper_cpu();
+        assert_eq!(cpu.total_workers(), 8);
+        let f5 = RouterConfig::fig5(64);
+        assert_eq!(f5.total_workers(), 1);
+        assert_eq!(f5.ports, 2);
+    }
+}

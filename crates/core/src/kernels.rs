@@ -1,0 +1,378 @@
+//! The GPU kernels of the four applications.
+//!
+//! Each kernel is real Rust executed once per simulated GPU thread;
+//! memory traffic goes through [`ThreadCtx`] so the timing model sees
+//! the true access pattern (coalesced input reads, scattered table
+//! probes, block-parallel AES, per-packet HMAC).
+
+use ps_crypto::aes::{ctr_counter_block, Aes128};
+use ps_crypto::hmac::HmacSha1;
+use ps_gpu::{DeviceBuffer, Kernel, ThreadCtx};
+use ps_lookup::dir24::Dir24Layout;
+use ps_lookup::mem::TableMem;
+use ps_lookup::waldvogel::V6Layout;
+use ps_net::FlowKey;
+use ps_openflow::WildcardTable;
+
+/// Adapter: a `TableMem` view over device memory for one buffer, so
+/// the *same* lookup code runs on host slices and GPU threads.
+pub struct CtxMem<'c, 'a> {
+    ctx: &'c mut ThreadCtx<'a>,
+    buf: DeviceBuffer,
+}
+
+impl<'c, 'a> CtxMem<'c, 'a> {
+    /// View `buf` through `ctx`.
+    pub fn new(ctx: &'c mut ThreadCtx<'a>, buf: DeviceBuffer) -> Self {
+        CtxMem { ctx, buf }
+    }
+}
+
+impl TableMem for CtxMem<'_, '_> {
+    fn read_u16(&mut self, off: usize) -> u16 {
+        self.ctx.read_u16(&self.buf, off)
+    }
+    fn read_u32(&mut self, off: usize) -> u32 {
+        self.ctx.read_u32(&self.buf, off)
+    }
+    fn read_bytes<const N: usize>(&mut self, off: usize) -> [u8; N] {
+        self.ctx.read(&self.buf, off)
+    }
+}
+
+/// IPv4 forwarding-table lookup: one thread per packet (§5.5 "map
+/// each packet into an independent GPU thread").
+pub struct Ipv4Kernel {
+    /// DIR-24-8 image location in device memory.
+    pub table: DeviceBuffer,
+    /// Image layout.
+    pub layout: Dir24Layout,
+    /// Input: packed u32 destination addresses.
+    pub input: DeviceBuffer,
+    /// Output: packed u16 next hops.
+    pub output: DeviceBuffer,
+    /// Valid packets.
+    pub n: u32,
+}
+
+impl Kernel for Ipv4Kernel {
+    fn name(&self) -> &str {
+        "ipv4-dir24"
+    }
+
+    fn thread(&self, tid: u32, ctx: &mut ThreadCtx<'_>) {
+        if tid >= self.n {
+            return;
+        }
+        let addr = ctx.read_u32(&self.input, tid as usize * 4);
+        ctx.alu(20); // index arithmetic + branch
+        let hop = {
+            let mut mem = CtxMem::new(ctx, self.table);
+            ps_lookup::dir24::lookup(&self.layout, &mut mem, addr)
+        };
+        // Spilled entries take a second dependent access; the trace
+        // records it automatically. Record the branch for divergence.
+        ctx.branch(hop & 0x8000 == 0);
+        ctx.write(&self.output, tid as usize * 2, &hop.to_le_bytes());
+    }
+}
+
+/// IPv6 lookup: binary search on prefix lengths, one thread per
+/// packet; seven dependent probes dominate (§6.2.2).
+pub struct Ipv6Kernel {
+    /// Waldvogel image location.
+    pub table: DeviceBuffer,
+    /// Level directory (kernel parameters, not device memory).
+    pub layout: V6Layout,
+    /// Input: packed 16 B destination addresses.
+    pub input: DeviceBuffer,
+    /// Output: packed u16 next hops.
+    pub output: DeviceBuffer,
+    /// Valid packets.
+    pub n: u32,
+}
+
+impl Kernel for Ipv6Kernel {
+    fn name(&self) -> &str {
+        "ipv6-waldvogel"
+    }
+
+    fn thread(&self, tid: u32, ctx: &mut ThreadCtx<'_>) {
+        if tid >= self.n {
+            return;
+        }
+        let raw: [u8; 16] = ctx.read(&self.input, tid as usize * 16);
+        let addr = u128::from_be_bytes(raw);
+        // Hashing at each probe level: ~16 ALU ops per FNV over the
+        // masked key, 7 levels.
+        ctx.alu(7 * 16 + 30);
+        let hop = {
+            let mut mem = CtxMem::new(ctx, self.table);
+            ps_lookup::waldvogel::lookup(&self.layout, &mut mem, addr)
+        };
+        ctx.write(&self.output, tid as usize * 2, &hop.to_le_bytes());
+    }
+}
+
+/// OpenFlow offload: per-packet flow-key hash + wildcard linear
+/// search (§6.2.3 "we offload hash value calculation and the wildcard
+/// matching to GPU"). Exact-match resolution stays on the CPU.
+pub struct OpenFlowKernel {
+    /// Serialized wildcard table (in device global memory).
+    pub wildcard: DeviceBuffer,
+    /// Number of wildcard entries.
+    pub n_wildcard: usize,
+    /// When the table fits in the SM's 48 KB shared memory (§2.1),
+    /// thread blocks stage it there once and scan without global
+    /// traffic; this holds the staged copy. `None` = scan global
+    /// memory (large tables).
+    pub shared_image: Option<std::sync::Arc<Vec<u8>>>,
+    /// Input: packed 32 B flow keys (31 B canonical + pad).
+    pub input: DeviceBuffer,
+    /// Output per packet: `hash:u32 action:u16 scanned:u16`.
+    pub output: DeviceBuffer,
+    /// Valid packets.
+    pub n: u32,
+}
+
+/// Wildcard-table bytes that fit in shared memory alongside the
+/// block's other needs (the GTX480 has 48 KB per SM).
+pub const OF_SHARED_LIMIT: usize = 32 << 10;
+
+/// Sentinel for "no wildcard entry matched".
+pub const OF_NO_MATCH: u16 = 0xFFFD;
+
+impl Kernel for OpenFlowKernel {
+    fn name(&self) -> &str {
+        "openflow-hash+wildcard"
+    }
+
+    fn thread(&self, tid: u32, ctx: &mut ThreadCtx<'_>) {
+        if tid >= self.n {
+            return;
+        }
+        let raw: [u8; 32] = ctx.read(&self.input, tid as usize * 32);
+        // FNV-1a over 31 bytes: ~2 ops/byte.
+        ctx.alu(62);
+        let mut h: u32 = 0x811c_9dc5;
+        for &b in &raw[..31] {
+            h = (h ^ u32::from(b)).wrapping_mul(0x0100_0193);
+        }
+        let key = flow_key_from_bytes(&raw);
+        let (action, scanned) = match &self.shared_image {
+            Some(image) => {
+                // Shared-memory scan: issue cost only.
+                let mut mem = ps_lookup::mem::SliceMem::new(image);
+                let (a, scanned) =
+                    WildcardTable::lookup_image(&mut mem, 0, self.n_wildcard, &key);
+                ctx.shared(4 * scanned as u32);
+                (a, scanned)
+            }
+            None => {
+                let mut mem = CtxMem::new(ctx, self.wildcard);
+                WildcardTable::lookup_image(&mut mem, 0, self.n_wildcard, &key)
+            }
+        };
+        // ~12 compare ops per scanned entry.
+        ctx.alu(12 * scanned as u32);
+        ctx.branch(action.is_some());
+        let o = tid as usize * 8;
+        ctx.write_u32(&self.output, o, h);
+        let act = action.unwrap_or(OF_NO_MATCH);
+        ctx.write(&self.output, o + 4, &act.to_le_bytes());
+        ctx.write(&self.output, o + 6, &(scanned as u16).to_le_bytes());
+    }
+}
+
+/// Rebuild a [`FlowKey`] from its canonical 31-byte serialization.
+pub fn flow_key_from_bytes(b: &[u8; 32]) -> FlowKey {
+    FlowKey {
+        in_port: u16::from_be_bytes([b[0], b[1]]),
+        dl_src: b[2..8].try_into().expect("fixed"),
+        dl_dst: b[8..14].try_into().expect("fixed"),
+        dl_vlan: u16::from_be_bytes([b[14], b[15]]),
+        dl_type: u16::from_be_bytes([b[16], b[17]]),
+        nw_src: u32::from_be_bytes([b[18], b[19], b[20], b[21]]),
+        nw_dst: u32::from_be_bytes([b[22], b[23], b[24], b[25]]),
+        nw_proto: b[26],
+        tp_src: u16::from_be_bytes([b[27], b[28]]),
+        tp_dst: u16::from_be_bytes([b[29], b[30]]),
+    }
+}
+
+/// Per-packet staging parameters for the IPsec kernels: where each
+/// packet's ESP region lives in the packed payload buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct EspSlot {
+    /// Byte offset of the packet's ESP region (16-aligned).
+    pub base: u32,
+    /// Ciphertext length (multiple of 16).
+    pub ct_len: u32,
+    /// Per-packet CTR IV.
+    pub iv: [u8; 8],
+}
+
+/// AES-128-CTR at AES-block granularity: one thread per 16 B block
+/// (§6.2.4 "we chop packets into AES blocks (16B) and map each block
+/// to one GPU thread").
+pub struct IpsecAesKernel {
+    /// The block cipher (round keys live in shared memory on a real
+    /// GPU; functional state here).
+    pub aes: Aes128,
+    /// The SA's CTR nonce.
+    pub nonce: u32,
+    /// Packed ESP regions.
+    pub payload: DeviceBuffer,
+    /// Per-block map: `pkt_idx << 8 | block_idx`.
+    pub block_info: DeviceBuffer,
+    /// Per-packet slots: `[base:u32 ct_len:u32 iv:8B]` (16 B each).
+    pub params: DeviceBuffer,
+    /// Total AES blocks.
+    pub n_blocks: u32,
+}
+
+impl Kernel for IpsecAesKernel {
+    fn name(&self) -> &str {
+        "ipsec-aes-ctr"
+    }
+
+    fn thread(&self, tid: u32, ctx: &mut ThreadCtx<'_>) {
+        if tid >= self.n_blocks {
+            return;
+        }
+        let info = ctx.read_u32(&self.block_info, tid as usize * 4);
+        let pkt = (info >> 8) as usize;
+        let blk = info & 0xFF;
+        let p: [u8; 16] = ctx.read(&self.params, pkt * 16);
+        let base = u32::from_le_bytes([p[0], p[1], p[2], p[3]]) as usize;
+        let iv: [u8; 8] = p[8..16].try_into().expect("fixed");
+        // Keystream: one AES encryption over the counter block. With
+        // shared-memory T-tables this is ~4 lookups + 4 xors per round
+        // on a real GPU; charge ~20 issue ops per round.
+        ctx.shared(10 * 20);
+        let ks = self.aes.encrypt(&ctr_counter_block(self.nonce, &iv, blk + 1));
+        let off = base + 16 + blk as usize * 16; // skip SPI/seq + IV
+        let mut data: [u8; 16] = ctx.read(&self.payload, off);
+        for (d, k) in data.iter_mut().zip(ks.iter()) {
+            *d ^= k;
+        }
+        ctx.write(&self.payload, off, &data);
+    }
+}
+
+/// HMAC-SHA1 at packet granularity ("SHA1 cannot be parallelized at
+/// the SHA1 block level due to data dependency; we parallelize SHA1
+/// at the packet level", §6.2.4). Must run *after* the AES kernel —
+/// ESP is encrypt-then-MAC.
+pub struct IpsecHmacKernel {
+    /// Keyed HMAC context.
+    pub hmac: HmacSha1,
+    /// Packed ESP regions (already encrypted).
+    pub payload: DeviceBuffer,
+    /// Per-packet slots (same layout as the AES kernel's).
+    pub params: DeviceBuffer,
+    /// Packets.
+    pub n: u32,
+}
+
+impl Kernel for IpsecHmacKernel {
+    fn name(&self) -> &str {
+        "ipsec-hmac-sha1"
+    }
+
+    fn thread(&self, tid: u32, ctx: &mut ThreadCtx<'_>) {
+        if tid >= self.n {
+            return;
+        }
+        let p: [u8; 16] = ctx.read(&self.params, tid as usize * 16);
+        let base = u32::from_le_bytes([p[0], p[1], p[2], p[3]]) as usize;
+        let ct_len = u32::from_le_bytes([p[4], p[5], p[6], p[7]]) as usize;
+        let auth_len = 16 + ct_len; // SPI+seq+IV+ciphertext
+
+        // Stream the authenticated region in 64 B reads.
+        let mut data = Vec::with_capacity(auth_len);
+        let mut off = base;
+        let mut left = auth_len;
+        while left >= 64 {
+            data.extend_from_slice(&ctx.read::<64>(&self.payload, off));
+            off += 64;
+            left -= 64;
+        }
+        while left >= 16 {
+            data.extend_from_slice(&ctx.read::<16>(&self.payload, off));
+            off += 16;
+            left -= 16;
+        }
+        debug_assert_eq!(left, 0, "ESP regions are 16-aligned");
+
+        // ~400 issue ops per SHA-1 compression (80 rounds).
+        let comps = ps_crypto::sha1::hmac_compressions(auth_len) as u32;
+        ctx.shared(comps * 400);
+
+        let icv = self.hmac.mac96(&data);
+        ctx.write(&self.payload, base + auth_len, &icv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_gpu::{kernel, GpuDevice};
+    use ps_lookup::dir24::Dir24Table;
+    use ps_lookup::route::Route4;
+
+    #[test]
+    fn ipv4_kernel_produces_real_lookups() {
+        let routes = vec![
+            Route4::new(0x0A000000, 8, 1),
+            Route4::new(0x0A0B0000, 16, 2),
+            Route4::new(0, 0, 7),
+        ];
+        let table = Dir24Table::build(&routes);
+        let mut dev = GpuDevice::gtx480_with_mem(64 << 20);
+        let tbuf = dev.mem.alloc(table.image().len());
+        dev.mem.write(&tbuf, 0, table.image());
+        let input = dev.mem.alloc(4 * 4);
+        let output = dev.mem.alloc(4 * 2);
+        let addrs: [u32; 4] = [0x0A0B0101, 0x0A111111, 0x01020304, 0xFFFFFFFF];
+        for (i, a) in addrs.iter().enumerate() {
+            dev.mem.write(&input, i * 4, &a.to_le_bytes());
+        }
+        let k = Ipv4Kernel {
+            table: tbuf,
+            layout: table.layout(),
+            input,
+            output,
+            n: 4,
+        };
+        let stats = kernel::execute(&k, &mut dev.mem, 4);
+        assert_eq!(stats.threads, 4);
+        let hops: Vec<u16> = (0..4)
+            .map(|i| {
+                let mut b = [0u8; 2];
+                dev.mem.read(&output, i * 2, &mut b);
+                u16::from_le_bytes(b)
+            })
+            .collect();
+        assert_eq!(hops, vec![2, 1, 7, 7]);
+    }
+
+    #[test]
+    fn flow_key_round_trips_canonical_bytes() {
+        let key = FlowKey {
+            in_port: 3,
+            dl_src: [1, 2, 3, 4, 5, 6],
+            dl_dst: [7, 8, 9, 10, 11, 12],
+            dl_vlan: 0xFFFF,
+            dl_type: 0x0800,
+            nw_src: 0x0A010203,
+            nw_dst: 0x0B040506,
+            nw_proto: 17,
+            tp_src: 1234,
+            tp_dst: 80,
+        };
+        let mut raw = [0u8; 32];
+        raw[..31].copy_from_slice(&key.to_bytes());
+        assert_eq!(flow_key_from_bytes(&raw), key);
+    }
+}

@@ -1,0 +1,311 @@
+//! AES-128 block cipher (FIPS-197) and CTR mode (RFC 3686 framing).
+//!
+//! A straightforward byte-oriented implementation: the S-box and the
+//! xtime multiply, no T-tables. Clarity and auditability over raw
+//! speed — the simulated router charges virtual time from the cost
+//! model, and the criterion benches measure this code as an honest
+//! baseline.
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+#[inline]
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// An expanded AES-128 key (11 round keys).
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expand a 128-bit key.
+    pub fn new(key: &[u8; 16]) -> Aes128 {
+        let mut rk = [[0u8; 16]; 11];
+        rk[0] = *key;
+        for round in 1..11 {
+            let prev = rk[round - 1];
+            let mut w = [prev[12], prev[13], prev[14], prev[15]];
+            // RotWord + SubWord + Rcon
+            w.rotate_left(1);
+            for b in &mut w {
+                *b = SBOX[*b as usize];
+            }
+            w[0] ^= RCON[round - 1];
+            for i in 0..4 {
+                rk[round][i] = prev[i] ^ w[i];
+            }
+            for i in 4..16 {
+                rk[round][i] = prev[i] ^ rk[round][i - 4];
+            }
+        }
+        Aes128 { round_keys: rk }
+    }
+
+    /// Encrypt one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[10]);
+    }
+
+    /// Encrypt a copy of `block`.
+    pub fn encrypt(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut out = *block;
+        self.encrypt_block(&mut out);
+        out
+    }
+}
+
+#[inline]
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+/// State is column-major: state[4*c + r] is row r, column c.
+#[inline]
+fn shift_rows(state: &mut [u8; 16]) {
+    // Row 1: shift left by 1.
+    let t = state[1];
+    state[1] = state[5];
+    state[5] = state[9];
+    state[9] = state[13];
+    state[13] = t;
+    // Row 2: shift left by 2.
+    state.swap(2, 10);
+    state.swap(6, 14);
+    // Row 3: shift left by 3 (= right by 1).
+    let t = state[15];
+    state[15] = state[11];
+    state[11] = state[7];
+    state[7] = state[3];
+    state[3] = t;
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = &mut state[4 * c..4 * c + 4];
+        let a = [col[0], col[1], col[2], col[3]];
+        let t = a[0] ^ a[1] ^ a[2] ^ a[3];
+        col[0] = a[0] ^ t ^ xtime(a[0] ^ a[1]);
+        col[1] = a[1] ^ t ^ xtime(a[1] ^ a[2]);
+        col[2] = a[2] ^ t ^ xtime(a[2] ^ a[3]);
+        col[3] = a[3] ^ t ^ xtime(a[3] ^ a[0]);
+    }
+}
+
+/// RFC 3686 CTR counter block: `nonce(4) || iv(8) || counter(4)`,
+/// counter starting at 1.
+#[inline]
+pub fn ctr_counter_block(nonce: u32, iv: &[u8; 8], counter: u32) -> [u8; 16] {
+    let mut block = [0u8; 16];
+    block[0..4].copy_from_slice(&nonce.to_be_bytes());
+    block[4..12].copy_from_slice(iv);
+    block[12..16].copy_from_slice(&counter.to_be_bytes());
+    block
+}
+
+/// Produce the keystream block for CTR block index `idx` (0-based) and
+/// XOR it into `data` (up to 16 bytes). This is the independent unit
+/// of work the paper maps to one GPU thread.
+pub fn ctr_block(aes: &Aes128, nonce: u32, iv: &[u8; 8], idx: u32, data: &mut [u8]) {
+    debug_assert!(data.len() <= 16);
+    let ks = aes.encrypt(&ctr_counter_block(nonce, iv, idx + 1));
+    for (d, k) in data.iter_mut().zip(ks.iter()) {
+        *d ^= k;
+    }
+}
+
+/// Streaming CTR en/decryption (encrypt == decrypt).
+pub struct CtrStream {
+    aes: Aes128,
+    nonce: u32,
+}
+
+impl CtrStream {
+    /// A CTR context with the RFC 3686 per-SA nonce.
+    pub fn new(key: &[u8; 16], nonce: u32) -> CtrStream {
+        CtrStream {
+            aes: Aes128::new(key),
+            nonce,
+        }
+    }
+
+    /// XOR the keystream for (`iv`) into `data`.
+    pub fn apply(&self, iv: &[u8; 8], data: &mut [u8]) {
+        for (idx, chunk) in data.chunks_mut(16).enumerate() {
+            ctr_block(&self.aes, self.nonce, iv, idx as u32, chunk);
+        }
+    }
+
+    /// The underlying block cipher (the GPU kernel drives blocks
+    /// itself).
+    pub fn cipher(&self) -> &Aes128 {
+        &self.aes
+    }
+
+    /// The SA nonce.
+    pub fn nonce(&self) -> u32 {
+        self.nonce
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips197_vector() {
+        let key: [u8; 16] = (0u8..16).collect::<Vec<_>>().try_into().unwrap();
+        let aes = Aes128::new(&key);
+        let pt: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let ct = aes.encrypt(&pt);
+        assert_eq!(
+            ct,
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
+                0xb4, 0xc5, 0x5a
+            ]
+        );
+    }
+
+    #[test]
+    fn rfc3686_test_vector_1() {
+        // RFC 3686 §6 Test Vector #1.
+        let key: [u8; 16] = [
+            0xAE, 0x68, 0x52, 0xF8, 0x12, 0x10, 0x67, 0xCC, 0x4B, 0xF7, 0xA5, 0x76, 0x55, 0x77,
+            0xF3, 0x9E,
+        ];
+        let nonce = 0x0000_0030;
+        let iv = [0u8; 8];
+        let mut data = *b"Single block msg";
+        let ctr = CtrStream::new(&key, nonce);
+        ctr.apply(&iv, &mut data);
+        assert_eq!(
+            data,
+            [
+                0xE4, 0x09, 0x5D, 0x4F, 0xB7, 0xA7, 0xB3, 0x79, 0x2D, 0x61, 0x75, 0xA3, 0x26,
+                0x13, 0x11, 0xB8
+            ]
+        );
+    }
+
+    #[test]
+    fn rfc3686_test_vector_2() {
+        // RFC 3686 §6 Test Vector #2: 32 bytes, two blocks.
+        let key: [u8; 16] = [
+            0x7E, 0x24, 0x06, 0x78, 0x17, 0xFA, 0xE0, 0xD7, 0x43, 0xD6, 0xCE, 0x1F, 0x32, 0x53,
+            0x91, 0x63,
+        ];
+        let nonce = 0x006C_B6DB;
+        let iv = [0xC0, 0x54, 0x3B, 0x59, 0xDA, 0x48, 0xD9, 0x0B];
+        let mut data: Vec<u8> = (0..32).collect();
+        let ctr = CtrStream::new(&key, nonce);
+        ctr.apply(&iv, &mut data);
+        assert_eq!(
+            data,
+            vec![
+                0x51, 0x04, 0xA1, 0x06, 0x16, 0x8A, 0x72, 0xD9, 0x79, 0x0D, 0x41, 0xEE, 0x8E,
+                0xDA, 0xD3, 0x88, 0xEB, 0x2E, 0x1E, 0xFC, 0x46, 0xDA, 0x57, 0xC8, 0xFC, 0xE6,
+                0x30, 0xDF, 0x91, 0x41, 0xBE, 0x28
+            ]
+        );
+    }
+
+    #[test]
+    fn ctr_round_trip() {
+        let key = [7u8; 16];
+        let ctr = CtrStream::new(&key, 0xABCD);
+        let iv = [1, 2, 3, 4, 5, 6, 7, 8];
+        let original: Vec<u8> = (0..100u8).collect();
+        let mut data = original.clone();
+        ctr.apply(&iv, &mut data);
+        assert_ne!(data, original);
+        ctr.apply(&iv, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn ctr_blocks_are_independent() {
+        // Encrypting block-by-block out of order equals streaming.
+        let key = [9u8; 16];
+        let ctr = CtrStream::new(&key, 0x42);
+        let iv = [8, 7, 6, 5, 4, 3, 2, 1];
+        let mut streamed = vec![0x5Au8; 48];
+        ctr.apply(&iv, &mut streamed);
+
+        let mut blocks = vec![0x5Au8; 48];
+        for idx in [2u32, 0, 1] {
+            let s = idx as usize * 16;
+            ctr_block(ctr.cipher(), 0x42, &iv, idx, &mut blocks[s..s + 16]);
+        }
+        assert_eq!(streamed, blocks);
+    }
+
+    #[test]
+    fn different_ivs_differ() {
+        let key = [3u8; 16];
+        let ctr = CtrStream::new(&key, 1);
+        let mut a = vec![0u8; 16];
+        let mut b = vec![0u8; 16];
+        ctr.apply(&[0; 8], &mut a);
+        ctr.apply(&[1; 8], &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn key_schedule_first_round_key_is_key() {
+        let key = [0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09,
+            0xcf, 0x4f, 0x3c];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.round_keys[0], key);
+        // FIPS-197 A.1: w[4..8] of the expanded key.
+        assert_eq!(
+            aes.round_keys[1][0..4],
+            [0xa0, 0xfa, 0xfe, 0x17]
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! HMAC-SHA1 (RFC 2104) with the 96-bit truncation ESP uses
+//! (HMAC-SHA1-96, RFC 2404).
+
+use crate::sha1::{Sha1, BLOCK, DIGEST};
+
+/// An HMAC-SHA1 keyed context (precomputed pads).
+#[derive(Clone)]
+pub struct HmacSha1 {
+    ipad_state: Sha1,
+    opad_state: Sha1,
+}
+
+impl HmacSha1 {
+    /// Derive the inner/outer pad states from `key`.
+    pub fn new(key: &[u8]) -> HmacSha1 {
+        let mut k = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            k[..DIGEST].copy_from_slice(&Sha1::digest(key));
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0x36u8; BLOCK];
+        let mut opad = [0x5cu8; BLOCK];
+        for i in 0..BLOCK {
+            ipad[i] ^= k[i];
+            opad[i] ^= k[i];
+        }
+        let mut ipad_state = Sha1::new();
+        ipad_state.update(&ipad);
+        let mut opad_state = Sha1::new();
+        opad_state.update(&opad);
+        HmacSha1 {
+            ipad_state,
+            opad_state,
+        }
+    }
+
+    /// Full 20-byte MAC over `data`.
+    pub fn mac(&self, data: &[u8]) -> [u8; DIGEST] {
+        let mut inner = self.ipad_state.clone();
+        inner.update(data);
+        let inner_digest = inner.finalize();
+        let mut outer = self.opad_state.clone();
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// Truncated 96-bit MAC (the ESP ICV).
+    pub fn mac96(&self, data: &[u8]) -> [u8; 12] {
+        self.mac(data)[..12].try_into().expect("12 of 20 bytes")
+    }
+
+    /// Constant-time-ish verify of a 96-bit ICV. (The simulation does
+    /// not need side-channel resistance, but the habit is free.)
+    pub fn verify96(&self, data: &[u8], icv: &[u8]) -> bool {
+        let want = self.mac96(data);
+        if icv.len() != want.len() {
+            return false;
+        }
+        let mut diff = 0u8;
+        for (a, b) in want.iter().zip(icv) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc2202_case_1() {
+        let h = HmacSha1::new(&[0x0b; 20]);
+        assert_eq!(
+            hex(&h.mac(b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+    }
+
+    #[test]
+    fn rfc2202_case_2() {
+        let h = HmacSha1::new(b"Jefe");
+        assert_eq!(
+            hex(&h.mac(b"what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+    }
+
+    #[test]
+    fn rfc2202_case_3() {
+        let h = HmacSha1::new(&[0xaa; 20]);
+        assert_eq!(
+            hex(&h.mac(&[0xdd; 50])),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+        );
+    }
+
+    #[test]
+    fn rfc2202_case_6_long_key() {
+        let h = HmacSha1::new(&[0xaa; 80]);
+        assert_eq!(
+            hex(&h.mac(b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+        );
+    }
+
+    #[test]
+    fn truncation_and_verify() {
+        let h = HmacSha1::new(b"secret");
+        let icv = h.mac96(b"payload");
+        assert_eq!(icv.len(), 12);
+        assert_eq!(icv[..], h.mac(b"payload")[..12]);
+        assert!(h.verify96(b"payload", &icv));
+        assert!(!h.verify96(b"payl0ad", &icv));
+        let mut bad = icv;
+        bad[11] ^= 1;
+        assert!(!h.verify96(b"payload", &bad));
+        assert!(!h.verify96(b"payload", &icv[..11]));
+    }
+
+    #[test]
+    fn keyed_contexts_are_reusable() {
+        let h = HmacSha1::new(b"k");
+        assert_eq!(h.mac(b"a"), h.mac(b"a"));
+        assert_ne!(h.mac(b"a"), h.mac(b"b"));
+    }
+}

@@ -1,0 +1,206 @@
+//! SHA-1 (FIPS 180-1). Used only as the HMAC core for ESP
+//! authentication, matching the paper's cipher suite; SHA-1 is of
+//! course obsolete for new designs.
+
+/// SHA-1 block size in bytes.
+pub const BLOCK: usize = 64;
+/// SHA-1 digest size in bytes.
+pub const DIGEST: usize = 20;
+
+/// Incremental SHA-1.
+#[derive(Clone)]
+pub struct Sha1 {
+    h: [u32; 5],
+    buf: [u8; BLOCK],
+    buf_len: usize,
+    total: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// A fresh hash state.
+    pub fn new() -> Sha1 {
+        Sha1 {
+            h: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            buf: [0; BLOCK],
+            buf_len: 0,
+            total: 0,
+        }
+    }
+
+    /// Absorb data.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total += data.len() as u64;
+        if self.buf_len > 0 {
+            let take = (BLOCK - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == BLOCK {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+            if data.is_empty() {
+                return;
+            }
+        }
+        while data.len() >= BLOCK {
+            let (block, rest) = data.split_at(BLOCK);
+            self.compress(block.try_into().expect("exact block"));
+            data = rest;
+        }
+        self.buf[..data.len()].copy_from_slice(data);
+        self.buf_len = data.len();
+    }
+
+    /// Finish and produce the digest.
+    pub fn finalize(mut self) -> [u8; DIGEST] {
+        let bit_len = self.total * 8;
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        self.total -= 8; // length bytes don't count; cancel update's add
+        let mut block = self.buf;
+        block[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        self.compress(&block);
+        let mut out = [0u8; DIGEST];
+        for (i, w) in self.h.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    /// One-shot digest.
+    pub fn digest(data: &[u8]) -> [u8; DIGEST] {
+        let mut s = Sha1::new();
+        s.update(data);
+        s.finalize()
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK]) {
+        let mut w = [0u32; 80];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("in block"));
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.h;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let t = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = t;
+        }
+        self.h[0] = self.h[0].wrapping_add(a);
+        self.h[1] = self.h[1].wrapping_add(b);
+        self.h[2] = self.h[2].wrapping_add(c);
+        self.h[3] = self.h[3].wrapping_add(d);
+        self.h[4] = self.h[4].wrapping_add(e);
+    }
+}
+
+/// Number of 64-byte SHA-1 compressions needed for `len` bytes of
+/// HMAC-SHA1 input (inner pad + data + padding, plus the outer hash).
+/// This drives the GPU/CPU cost model for the authenticator.
+pub fn hmac_compressions(len: usize) -> usize {
+    // inner: 64B ipad block + data + >=9B padding
+    let inner = 1 + (len + 9).div_ceil(BLOCK);
+    // outer: 64B opad block + 20B digest + padding = 2 blocks
+    inner + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_vectors() {
+        assert_eq!(
+            hex(&Sha1::digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            hex(&Sha1::digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+        assert_eq!(
+            hex(&Sha1::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut s = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            s.update(&chunk);
+        }
+        assert_eq!(
+            hex(&s.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for split in [0, 1, 63, 64, 65, 500, 999, 1000] {
+            let mut s = Sha1::new();
+            s.update(&data[..split]);
+            s.update(&data[split..]);
+            assert_eq!(s.finalize(), Sha1::digest(&data), "split={split}");
+        }
+    }
+
+    #[test]
+    fn length_boundary_padding() {
+        // Lengths around the 55/56-byte padding boundary.
+        for len in 50..70 {
+            let data = vec![0xABu8; len];
+            // Must not panic and must differ from neighbors.
+            let d1 = Sha1::digest(&data);
+            let d2 = Sha1::digest(&data[..len - 1]);
+            assert_ne!(d1, d2);
+        }
+    }
+
+    #[test]
+    fn compression_count_model() {
+        // 0 bytes: 1 inner block (pad fits) + ... : inner = 1 + ceil(9/64)=2, +2 outer.
+        assert_eq!(hmac_compressions(0), 4);
+        // 55 bytes: data+9 = 64 -> inner 2, total 4.
+        assert_eq!(hmac_compressions(55), 4);
+        // 56 bytes: data+9 = 65 -> inner 3, total 5.
+        assert_eq!(hmac_compressions(56), 5);
+        // 1500B packet: inner 1 + ceil(1509/64)=24 -> 25, +2 = 27.
+        assert_eq!(hmac_compressions(1500), 27);
+    }
+}

@@ -1,0 +1,387 @@
+//! The kernel API: real per-thread code with cost tracing.
+//!
+//! A [`Kernel`] is executed once per GPU thread. The [`ThreadCtx`]
+//! passed to each thread is both the *functional* interface to device
+//! memory and the *tracing* interface: every global access records its
+//! address so the per-warp coalescing analysis can count 128-byte
+//! memory transactions, `alu()` accumulates issue cycles, and
+//! `branch()` records data-dependent decisions so warp divergence can
+//! be charged (§5.5 "Divergency in GPU code").
+
+use crate::device::{DeviceBuffer, DeviceMemory};
+use crate::timing::KernelCost;
+
+/// A GPU kernel: one object, many threads.
+pub trait Kernel {
+    /// Kernel name for reports.
+    fn name(&self) -> &str;
+
+    /// Execute thread `tid` of the launch.
+    fn thread(&self, tid: u32, ctx: &mut ThreadCtx<'_>);
+}
+
+/// Aggregated outcome of a kernel launch.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchStats {
+    /// Threads launched.
+    pub threads: u32,
+    /// Warps executed.
+    pub warps: u32,
+    /// Total coalesced memory transactions issued.
+    pub mem_transactions: u64,
+    /// Longest dependent memory chain (steps) over all warps.
+    pub max_chain: u32,
+    /// Total warp-issue cycles (divergence included).
+    pub issue_cycles: u64,
+    /// Warp branch decisions that diverged within a warp.
+    pub divergent_branches: u64,
+}
+
+/// Per-thread execution context.
+pub struct ThreadCtx<'a> {
+    mem: &'a mut DeviceMemory,
+    /// Which lane of its warp this thread occupies.
+    lane: u32,
+    /// Index of the thread's next memory step.
+    step: usize,
+    alu: u64,
+    branch_step: usize,
+    warp: &'a mut WarpAccumulator,
+}
+
+impl<'a> ThreadCtx<'a> {
+    /// Record `cycles` of pure compute.
+    #[inline]
+    pub fn alu(&mut self, cycles: u32) {
+        self.alu += u64::from(cycles);
+    }
+
+    /// Record a data-dependent branch decision. Divergence within the
+    /// warp is detected and charged by the timing model.
+    #[inline]
+    pub fn branch(&mut self, taken: bool) {
+        self.warp.record_branch(self.branch_step, taken);
+        self.branch_step += 1;
+    }
+
+    /// Read `N` bytes of global memory at `buf[off..]`.
+    #[inline]
+    pub fn read<const N: usize>(&mut self, buf: &DeviceBuffer, off: usize) -> [u8; N] {
+        self.record_access(buf.addr(off), N);
+        let mut out = [0u8; N];
+        let base = buf.addr(0);
+        out.copy_from_slice(&self.mem.raw()[base + off..base + off + N]);
+        out
+    }
+
+    /// Read a little-endian u32 from global memory.
+    #[inline]
+    pub fn read_u32(&mut self, buf: &DeviceBuffer, off: usize) -> u32 {
+        u32::from_le_bytes(self.read::<4>(buf, off))
+    }
+
+    /// Read a little-endian u16 from global memory.
+    #[inline]
+    pub fn read_u16(&mut self, buf: &DeviceBuffer, off: usize) -> u16 {
+        u16::from_le_bytes(self.read::<2>(buf, off))
+    }
+
+    /// Read one byte from global memory.
+    #[inline]
+    pub fn read_u8(&mut self, buf: &DeviceBuffer, off: usize) -> u8 {
+        self.read::<1>(buf, off)[0]
+    }
+
+    /// Write bytes to global memory at `buf[off..]`.
+    #[inline]
+    pub fn write(&mut self, buf: &DeviceBuffer, off: usize, data: &[u8]) {
+        self.record_access(buf.addr(off), data.len());
+        let base = buf.addr(0);
+        self.mem.raw_mut()[base + off..base + off + data.len()].copy_from_slice(data);
+    }
+
+    /// Write a little-endian u32.
+    #[inline]
+    pub fn write_u32(&mut self, buf: &DeviceBuffer, off: usize, v: u32) {
+        self.write(buf, off, &v.to_le_bytes());
+    }
+
+    /// Access that hits shared memory / registers: costs issue cycles
+    /// only, no global transaction. (The IPsec kernel keeps its AES
+    /// tables in shared memory, §6: "maximize the usage of in-die
+    /// memory".)
+    #[inline]
+    pub fn shared(&mut self, cycles: u32) {
+        self.alu += u64::from(cycles);
+    }
+
+    fn record_access(&mut self, addr: usize, len: usize) {
+        self.warp.record_access(self.step, addr, len);
+        self.step += 1;
+    }
+}
+
+const SEGMENT_SHIFT: u32 = 7; // 128-byte coalescing segments
+
+/// Collects per-warp traces while the 32 lanes execute sequentially.
+#[derive(Debug, Default)]
+pub(crate) struct WarpAccumulator {
+    /// Per memory step: sorted unique 128 B segment ids touched.
+    steps: Vec<Vec<u64>>,
+    /// Per branch step: (first decision, diverged?).
+    branches: Vec<(bool, bool)>,
+    /// Max per-lane ALU cycles in this warp.
+    max_alu: u64,
+}
+
+impl WarpAccumulator {
+    fn record_access(&mut self, step: usize, addr: usize, len: usize) {
+        if self.steps.len() <= step {
+            self.steps.resize_with(step + 1, Vec::new);
+        }
+        let first = (addr >> SEGMENT_SHIFT) as u64;
+        let last = ((addr + len.max(1) - 1) >> SEGMENT_SHIFT) as u64;
+        for seg in first..=last {
+            let v = &mut self.steps[step];
+            if !v.contains(&seg) {
+                v.push(seg);
+            }
+        }
+    }
+
+    fn record_branch(&mut self, step: usize, taken: bool) {
+        if self.branches.len() <= step {
+            self.branches.resize(step + 1, (taken, false));
+        }
+        let (first, diverged) = &mut self.branches[step];
+        if *first != taken {
+            *diverged = true;
+        }
+    }
+
+    fn finish(&mut self, max_alu: u64) -> (u64, u32, u64, u64) {
+        let transactions: u64 = self.steps.iter().map(|s| s.len() as u64).sum();
+        let chain = self.steps.len() as u32;
+        let divergent = self.branches.iter().filter(|(_, d)| *d).count() as u64;
+        // A divergent branch serializes both sides of the warp: charge
+        // the warp's issue cost again for each divergent decision, the
+        // standard lockstep-masking cost model (§2.1).
+        let issue = max_alu * (1 + divergent);
+        self.steps.clear();
+        self.branches.clear();
+        self.max_alu = 0;
+        (transactions, chain, issue, divergent)
+    }
+}
+
+/// Execute `kernel` over `threads` threads against `mem`, returning
+/// aggregate stats for the timing model. Purely functional — virtual
+/// time is computed separately from the returned stats.
+pub fn execute(kernel: &dyn Kernel, mem: &mut DeviceMemory, threads: u32) -> LaunchStats {
+    let warp_size = 32;
+    let mut stats = LaunchStats {
+        threads,
+        warps: threads.div_ceil(warp_size),
+        mem_transactions: 0,
+        max_chain: 0,
+        issue_cycles: 0,
+        divergent_branches: 0,
+    };
+    let mut warp = WarpAccumulator::default();
+    let mut tid = 0;
+    while tid < threads {
+        let lanes = warp_size.min(threads - tid);
+        let mut max_alu = 0u64;
+        for lane in 0..lanes {
+            let mut ctx = ThreadCtx {
+                mem,
+                lane,
+                step: 0,
+                alu: 0,
+                branch_step: 0,
+                warp: &mut warp,
+            };
+            kernel.thread(tid + lane, &mut ctx);
+            max_alu = max_alu.max(ctx.alu);
+            let _ = ctx.lane;
+        }
+        let (tx, chain, issue, div) = warp.finish(max_alu);
+        stats.mem_transactions += tx;
+        stats.max_chain = stats.max_chain.max(chain);
+        stats.issue_cycles += issue;
+        stats.divergent_branches += div;
+        tid += lanes;
+    }
+    stats
+}
+
+/// Convert launch stats into the cost summary the timing model uses.
+pub fn cost_of(stats: &LaunchStats) -> KernelCost {
+    KernelCost {
+        warps: stats.warps,
+        issue_cycles: stats.issue_cycles,
+        mem_transactions: stats.mem_transactions,
+        max_chain: stats.max_chain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Each thread reads 4 bytes at tid*4 from one buffer: perfectly
+    /// coalesced — a warp's 32 reads fit in one 128 B segment.
+    struct CoalescedRead {
+        buf: DeviceBuffer,
+    }
+
+    impl Kernel for CoalescedRead {
+        fn name(&self) -> &str {
+            "coalesced-read"
+        }
+        fn thread(&self, tid: u32, ctx: &mut ThreadCtx<'_>) {
+            let _ = ctx.read_u32(&self.buf, tid as usize * 4);
+            ctx.alu(10);
+        }
+    }
+
+    /// Each thread reads 4 bytes at tid*512: fully scattered — every
+    /// lane in its own segment.
+    struct ScatteredRead {
+        buf: DeviceBuffer,
+    }
+
+    impl Kernel for ScatteredRead {
+        fn name(&self) -> &str {
+            "scattered-read"
+        }
+        fn thread(&self, tid: u32, ctx: &mut ThreadCtx<'_>) {
+            let _ = ctx.read_u32(&self.buf, tid as usize * 512);
+            ctx.alu(10);
+        }
+    }
+
+    #[test]
+    fn coalescing_collapses_warp_accesses() {
+        let mut mem = DeviceMemory::new(1 << 20);
+        let buf = mem.alloc(64 * 512 + 4);
+        let co = execute(&CoalescedRead { buf }, &mut mem, 64);
+        let sc = execute(&ScatteredRead { buf }, &mut mem, 64);
+        assert_eq!(co.warps, 2);
+        assert_eq!(co.mem_transactions, 2, "one segment per warp");
+        assert_eq!(sc.mem_transactions, 64, "one segment per lane");
+    }
+
+    #[test]
+    fn functional_results_are_real() {
+        struct AddOne {
+            src: DeviceBuffer,
+            dst: DeviceBuffer,
+        }
+        impl Kernel for AddOne {
+            fn name(&self) -> &str {
+                "add-one"
+            }
+            fn thread(&self, tid: u32, ctx: &mut ThreadCtx<'_>) {
+                let v = ctx.read_u32(&self.src, tid as usize * 4);
+                ctx.write_u32(&self.dst, tid as usize * 4, v + 1);
+            }
+        }
+        let mut mem = DeviceMemory::new(1 << 16);
+        let src = mem.alloc(256);
+        let dst = mem.alloc(256);
+        for i in 0..64u32 {
+            let off = i as usize * 4;
+            let b = mem.slice_mut(&src);
+            b[off..off + 4].copy_from_slice(&(i * 7).to_le_bytes());
+        }
+        execute(&AddOne { src, dst }, &mut mem, 64);
+        for i in 0..64u32 {
+            let off = i as usize * 4;
+            let got = u32::from_le_bytes(mem.slice(&dst)[off..off + 4].try_into().unwrap());
+            assert_eq!(got, i * 7 + 1);
+        }
+    }
+
+    #[test]
+    fn divergence_detected_and_charged() {
+        struct Divergent;
+        impl Kernel for Divergent {
+            fn name(&self) -> &str {
+                "divergent"
+            }
+            fn thread(&self, tid: u32, ctx: &mut ThreadCtx<'_>) {
+                ctx.alu(100);
+                ctx.branch(tid % 2 == 0); // alternate lanes disagree
+            }
+        }
+        struct Uniform;
+        impl Kernel for Uniform {
+            fn name(&self) -> &str {
+                "uniform"
+            }
+            fn thread(&self, _tid: u32, ctx: &mut ThreadCtx<'_>) {
+                ctx.alu(100);
+                ctx.branch(true);
+            }
+        }
+        let mut mem = DeviceMemory::new(1024);
+        let d = execute(&Divergent, &mut mem, 32);
+        let u = execute(&Uniform, &mut mem, 32);
+        assert_eq!(d.divergent_branches, 1);
+        assert_eq!(u.divergent_branches, 0);
+        assert_eq!(d.issue_cycles, 200, "divergent warp pays both sides");
+        assert_eq!(u.issue_cycles, 100);
+    }
+
+    #[test]
+    fn chain_depth_is_max_steps() {
+        struct Chase {
+            buf: DeviceBuffer,
+            hops: usize,
+        }
+        impl Kernel for Chase {
+            fn name(&self) -> &str {
+                "chase"
+            }
+            fn thread(&self, tid: u32, ctx: &mut ThreadCtx<'_>) {
+                let mut at = tid as usize * 4;
+                for _ in 0..self.hops {
+                    at = ctx.read_u32(&self.buf, at) as usize % 256;
+                }
+            }
+        }
+        let mut mem = DeviceMemory::new(4096);
+        let buf = mem.alloc(512);
+        let s = execute(&Chase { buf, hops: 7 }, &mut mem, 8);
+        assert_eq!(s.max_chain, 7);
+    }
+
+    #[test]
+    fn partial_last_warp() {
+        let mut mem = DeviceMemory::new(1 << 16);
+        let buf = mem.alloc(4096);
+        let s = execute(&CoalescedRead { buf }, &mut mem, 33);
+        assert_eq!(s.warps, 2);
+        assert_eq!(s.threads, 33);
+    }
+
+    #[test]
+    fn straddling_access_counts_both_segments() {
+        struct Straddle {
+            buf: DeviceBuffer,
+        }
+        impl Kernel for Straddle {
+            fn name(&self) -> &str {
+                "straddle"
+            }
+            fn thread(&self, _tid: u32, ctx: &mut ThreadCtx<'_>) {
+                let _ = ctx.read::<8>(&self.buf, 124); // crosses a 128B boundary
+            }
+        }
+        let mut mem = DeviceMemory::new(4096);
+        let buf = mem.alloc(256);
+        let s = execute(&Straddle { buf }, &mut mem, 1);
+        assert_eq!(s.mem_transactions, 2);
+    }
+}

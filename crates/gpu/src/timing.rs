@@ -1,0 +1,181 @@
+//! The analytic kernel timing model.
+//!
+//! Kernel duration is the maximum of four bounds (a simplification of
+//! Hong & Kim's analytical GPU model, which the paper cites as [25]):
+//!
+//! 1. **Issue bound** — each SM issues one warp instruction per cycle;
+//!    total warp-issue cycles spread over the SMs.
+//! 2. **Latency bound** — a warp's dependent memory chain serializes
+//!    at full device-memory latency; chains of resident warps overlap,
+//!    but when the launch needs more waves than fit residency, waves
+//!    repeat.
+//! 3. **Latency-hiding (MLP) bound** — each SM can keep a bounded
+//!    number of memory transactions in flight; total transactions
+//!    divided by that service rate. This is what makes throughput grow
+//!    with thread count and saturate (Figure 2's shape).
+//! 4. **Bandwidth bound** — coalesced transactions × 128 B against
+//!    device memory bandwidth (177.4 GB/s).
+
+use ps_hw::spec::GpuSpec;
+use ps_sim::time::Time;
+
+/// Cost summary of one kernel launch (from the warp traces).
+#[derive(Debug, Clone, Copy)]
+pub struct KernelCost {
+    /// Warps in the launch.
+    pub warps: u32,
+    /// Total warp-issue cycles, divergence included.
+    pub issue_cycles: u64,
+    /// Total coalesced 128 B memory transactions.
+    pub mem_transactions: u64,
+    /// Longest dependent memory chain in steps.
+    pub max_chain: u32,
+}
+
+/// Kernel execution time (launch overhead *not* included; see
+/// [`launch_overhead`]).
+pub fn kernel_time(spec: &GpuSpec, cost: &KernelCost) -> Time {
+    if cost.warps == 0 {
+        return 0;
+    }
+    let sms = u64::from(spec.sms);
+    let hz = spec.hz as f64;
+
+    // 1. Issue bound.
+    let issue_ns = cost.issue_cycles as f64 / sms as f64 / hz * 1e9;
+
+    // 2. Latency bound: each wave of resident warps pays the chain.
+    let warps_per_sm = u64::from(cost.warps).div_ceil(sms);
+    let waves = warps_per_sm.div_ceil(u64::from(spec.max_warps_per_sm)).max(1);
+    let latency_ns = waves as f64 * cost.max_chain as f64 * spec.mem_latency_ns as f64;
+
+    // 3. MLP bound: transactions served at (inflight per SM / latency)
+    // per SM.
+    let service_rate = (sms * u64::from(spec.max_mem_inflight_per_sm)) as f64
+        / spec.mem_latency_ns as f64; // transactions per ns
+    let mlp_ns = cost.mem_transactions as f64 / service_rate;
+
+    // 4. Bandwidth bound.
+    let bytes = cost.mem_transactions * u64::from(spec.mem_segment);
+    let bw_ns = bytes as f64 * 8.0 / spec.mem_bw_bits as f64 * 1e9;
+
+    issue_ns.max(latency_ns).max(mlp_ns).max(bw_ns).ceil() as Time
+}
+
+/// Kernel launch overhead (§2.2): 3.8 µs for one thread, growing
+/// linearly to ~4.1 µs at 4096 threads.
+pub fn launch_overhead(spec: &GpuSpec, threads: u32) -> Time {
+    spec.launch_base_ns + u64::from(threads) * spec.launch_per_thread_ps / 1000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> GpuSpec {
+        GpuSpec::gtx480()
+    }
+
+    /// Cost of an IPv6-lookup-like kernel: 7-step dependent chain,
+    /// scattered (1 transaction per step per warp... per lane), ~60
+    /// issue cycles per warp.
+    fn lookup_cost(threads: u32) -> KernelCost {
+        let warps = threads.div_ceil(32);
+        KernelCost {
+            warps,
+            issue_cycles: u64::from(warps) * 120,
+            // Scattered table lookups: no intra-warp coalescing.
+            mem_transactions: u64::from(threads) * 7,
+            max_chain: 7,
+        }
+    }
+
+    #[test]
+    fn small_launches_are_latency_bound() {
+        let s = spec();
+        let t32 = kernel_time(&s, &lookup_cost(32));
+        let t320 = kernel_time(&s, &lookup_cost(320));
+        // Both fit in one wave: latency bound dominates, time barely grows.
+        assert_eq!(t32, 7 * s.mem_latency_ns);
+        assert!(t320 <= t32 * 2, "t320={t320} t32={t32}");
+    }
+
+    #[test]
+    fn large_launches_scale_with_thread_count() {
+        let s = spec();
+        let t4k = kernel_time(&s, &lookup_cost(4096));
+        let t64k = kernel_time(&s, &lookup_cost(65536));
+        let ratio = t64k as f64 / t4k as f64;
+        assert!((8.0..24.0).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn throughput_saturates_an_order_of_magnitude_above_small_batch() {
+        // The Figure 2 shape: throughput (lookups/s) grows with batch
+        // and saturates.
+        let s = spec();
+        let tput = |n: u32| n as f64 / kernel_time(&s, &lookup_cost(n)) as f64;
+        let small = tput(64);
+        let large = tput(131_072);
+        assert!(large > 8.0 * small, "small={small:.3} large={large:.3}");
+        // And saturation: 256Ki is within 30% of 128Ki throughput.
+        let larger = tput(262_144);
+        assert!((larger - large).abs() / large < 0.3);
+    }
+
+    #[test]
+    fn peak_lookup_rate_in_figure2_band() {
+        // Figure 2: one GTX480 peaks at roughly 10x one X5550 socket
+        // (which our CPU model calibrates to ~15-20 M lookups/s), so
+        // the GPU should saturate in the 100-250 M lookups/s band.
+        let s = spec();
+        let n = 1 << 20;
+        let t = kernel_time(&s, &lookup_cost(n));
+        let rate = n as f64 / (t as f64 / 1e9);
+        assert!(
+            (1.0e8..2.5e8).contains(&rate),
+            "peak lookup rate {rate:.2e}/s"
+        );
+    }
+
+    #[test]
+    fn bandwidth_bound_kernels() {
+        // A copy-heavy kernel: few chain steps, huge coalesced traffic.
+        let s = spec();
+        let cost = KernelCost {
+            warps: 4096,
+            issue_cycles: 4096 * 10,
+            mem_transactions: 10_000_000,
+            max_chain: 4,
+        };
+        let t = kernel_time(&s, &cost);
+        let bytes = 10_000_000u64 * 128;
+        let bw_ns = bytes as f64 * 8.0 / s.mem_bw_bits as f64 * 1e9;
+        assert_eq!(t, bw_ns.ceil() as Time);
+    }
+
+    #[test]
+    fn launch_overhead_matches_section_2_2() {
+        let s = spec();
+        assert_eq!(launch_overhead(&s, 1), 3_800);
+        let t4096 = launch_overhead(&s, 4096);
+        // Paper: 4.1 us for 4096 threads (within 10%).
+        assert!((3_900..=4_500).contains(&t4096), "t4096={t4096}");
+    }
+
+    #[test]
+    fn empty_launch_costs_nothing() {
+        assert_eq!(
+            kernel_time(
+                &spec(),
+                &KernelCost {
+                    warps: 0,
+                    issue_cycles: 0,
+                    mem_transactions: 0,
+                    max_chain: 0
+                }
+            ),
+            0
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! Analytic CPU timing model.
+//!
+//! The paper's CPU-side costs come from two places: raw cycles
+//! (parsing, hashing, crypto in the CPU-only mode) and memory stalls
+//! (table lookups whose working set defeats the cache, §2.4). We model
+//! an operation as an [`OpProfile`] and convert it to time:
+//!
+//! * ALU work: `alu_cycles / hz`;
+//! * memory work: dependent misses serialize at full latency, while
+//!   independent misses overlap up to the MSHR limit (≈6 per core, 4
+//!   under all-core bursts) and an additional software-pipelining
+//!   factor for batch loops that interleave several packets.
+//!
+//! The model is deliberately simple and fully documented — it is a
+//! calibration surface, not a microarchitectural simulator.
+
+use ps_sim::time::Time;
+
+use crate::numa::NodeId;
+use crate::spec::CpuSpec;
+
+/// Cost profile of one operation on one core.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpProfile {
+    /// Pure compute cycles (no memory stall attributed).
+    pub alu_cycles: u64,
+    /// Cache-missing memory accesses that depend on each other
+    /// (pointer chase / search steps): these serialize.
+    pub dependent_misses: u64,
+    /// Cache-missing accesses with no mutual dependency: these
+    /// overlap up to the effective MSHR window.
+    pub independent_misses: u64,
+    /// Accesses that hit in cache; charged a small fixed cost.
+    pub cache_hits: u64,
+}
+
+impl OpProfile {
+    /// Pure-compute profile.
+    pub fn alu(cycles: u64) -> OpProfile {
+        OpProfile {
+            alu_cycles: cycles,
+            ..Default::default()
+        }
+    }
+
+    /// A pointer-chase profile of `n` dependent misses plus `cycles`
+    /// of compute.
+    pub fn chase(n: u64, cycles: u64) -> OpProfile {
+        OpProfile {
+            alu_cycles: cycles,
+            dependent_misses: n,
+            ..Default::default()
+        }
+    }
+
+    /// Merge another profile into this one (sequential composition).
+    pub fn add(&mut self, other: OpProfile) {
+        self.alu_cycles += other.alu_cycles;
+        self.dependent_misses += other.dependent_misses;
+        self.independent_misses += other.independent_misses;
+        self.cache_hits += other.cache_hits;
+    }
+}
+
+/// L1/L2 hit cost in cycles.
+const HIT_CYCLES: u64 = 4;
+
+/// Execution context for the memory model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryPressure {
+    /// Only this core is bursting memory references.
+    Light,
+    /// All cores burst simultaneously (the contended MSHR case).
+    Contended,
+}
+
+/// The per-core analytic timing model.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuModel {
+    spec: CpuSpec,
+    /// How many packet-sized operations the software pipeline keeps in
+    /// flight per core (batch loops interleave independent packets,
+    /// letting dependent chains of *different* packets overlap).
+    /// Calibrated so one X5550 socket sustains ~17 M IPv6 lookups/s
+    /// (Figure 2's CPU plateau).
+    pub sw_pipeline: f64,
+}
+
+impl CpuModel {
+    /// Model for the given socket spec with the default software
+    /// pipelining factor.
+    pub fn new(spec: CpuSpec) -> CpuModel {
+        CpuModel {
+            spec,
+            sw_pipeline: 2.5,
+        }
+    }
+
+    /// The socket spec.
+    pub fn spec(&self) -> &CpuSpec {
+        &self.spec
+    }
+
+    /// Convert cycles to nanoseconds at this core's clock.
+    #[inline]
+    pub fn cycles_to_ns(&self, cycles: u64) -> Time {
+        ps_sim::time::cycles_to_ns(cycles, self.spec.hz)
+    }
+
+    /// Memory latency seen from `accessor` node to `memory` node.
+    #[inline]
+    pub fn mem_latency_ns(&self, accessor: NodeId, memory: NodeId) -> u64 {
+        if accessor == memory {
+            self.spec.mem_latency_local_ns
+        } else {
+            self.spec.mem_latency_remote_ns
+        }
+    }
+
+    /// Time for one operation whose memory lives on `memory`, run by a
+    /// core on `core_node`.
+    pub fn op_time(
+        &self,
+        profile: OpProfile,
+        core_node: NodeId,
+        memory: NodeId,
+        pressure: MemoryPressure,
+    ) -> Time {
+        let lat = self.mem_latency_ns(core_node, memory);
+        let mshr = match pressure {
+            MemoryPressure::Light => self.spec.mshr_per_core,
+            MemoryPressure::Contended => self.spec.mshr_contended,
+        } as f64;
+
+        // Dependent chain: serialized, but batch loops overlap chains
+        // of different packets up to min(sw_pipeline, mshr).
+        let overlap = self.sw_pipeline.min(mshr).max(1.0);
+        let chain_ns = profile.dependent_misses as f64 * lat as f64 / overlap;
+
+        // Independent misses overlap up to the MSHR window.
+        let indep_ns = profile.independent_misses as f64 * lat as f64 / mshr;
+
+        let alu_ns = profile.alu_cycles as f64 * 1e9 / self.spec.hz as f64;
+        let hit_ns = profile.cache_hits as f64 * HIT_CYCLES as f64 * 1e9 / self.spec.hz as f64;
+
+        (chain_ns + indep_ns + alu_ns + hit_ns).ceil() as Time
+    }
+
+    /// Throughput of one *socket* (all cores) executing `profile` in a
+    /// tight batch loop, in operations per second.
+    pub fn socket_ops_per_sec(
+        &self,
+        profile: OpProfile,
+        core_node: NodeId,
+        memory: NodeId,
+        pressure: MemoryPressure,
+    ) -> f64 {
+        let per_op = self.op_time(profile, core_node, memory, pressure) as f64;
+        if per_op == 0.0 {
+            return f64::INFINITY;
+        }
+        self.spec.cores as f64 * 1e9 / per_op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CpuSpec;
+
+    fn model() -> CpuModel {
+        CpuModel::new(CpuSpec::x5550())
+    }
+
+    #[test]
+    fn alu_only_matches_clock() {
+        let m = model();
+        // 2660 cycles at 2.66 GHz = 1000 ns.
+        let t = m.op_time(OpProfile::alu(2660), NodeId(0), NodeId(0), MemoryPressure::Light);
+        assert_eq!(t, 1000);
+    }
+
+    #[test]
+    fn dependent_chain_overlaps_by_pipeline_factor() {
+        let m = model();
+        // 7 dependent misses, local: 7*60/2.5 = 168 ns.
+        let t = m.op_time(OpProfile::chase(7, 0), NodeId(0), NodeId(0), MemoryPressure::Light);
+        assert_eq!(t, 168);
+    }
+
+    #[test]
+    fn remote_memory_costs_more() {
+        let m = model();
+        let local = m.op_time(OpProfile::chase(7, 0), NodeId(0), NodeId(0), MemoryPressure::Light);
+        let remote = m.op_time(OpProfile::chase(7, 0), NodeId(0), NodeId(1), MemoryPressure::Light);
+        let ratio = remote as f64 / local as f64;
+        assert!((1.40..=1.50).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn independent_misses_overlap_more_than_dependent() {
+        let m = model();
+        let dep = m.op_time(OpProfile::chase(6, 0), NodeId(0), NodeId(0), MemoryPressure::Light);
+        let indep = m.op_time(
+            OpProfile {
+                independent_misses: 6,
+                ..Default::default()
+            },
+            NodeId(0),
+            NodeId(0),
+            MemoryPressure::Light,
+        );
+        assert!(indep < dep, "indep={indep} dep={dep}");
+        assert_eq!(indep, 60); // 6 * 60 / 6 MSHRs
+    }
+
+    #[test]
+    fn contention_reduces_overlap() {
+        let m = model();
+        let p = OpProfile {
+            independent_misses: 12,
+            ..Default::default()
+        };
+        let light = m.op_time(p, NodeId(0), NodeId(0), MemoryPressure::Light);
+        let contended = m.op_time(p, NodeId(0), NodeId(0), MemoryPressure::Contended);
+        assert!(contended > light);
+    }
+
+    #[test]
+    fn socket_throughput_ipv6_lookup_calibration() {
+        // Figure 2 calibration: one X5550 socket sustains roughly
+        // 15-20M IPv6 lookups/s (7 dependent misses + ~60 cycles ALU).
+        let m = model();
+        let profile = OpProfile::chase(7, 60);
+        let ops = m.socket_ops_per_sec(profile, NodeId(0), NodeId(0), MemoryPressure::Light);
+        assert!(
+            (14.0e6..24.0e6).contains(&ops),
+            "one-socket IPv6 lookup rate {ops:.2e} outside Figure 2 band"
+        );
+    }
+
+    #[test]
+    fn profile_composition() {
+        let mut p = OpProfile::alu(100);
+        p.add(OpProfile::chase(2, 50));
+        assert_eq!(p.alu_cycles, 150);
+        assert_eq!(p.dependent_misses, 2);
+    }
+}

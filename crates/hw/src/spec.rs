@@ -1,0 +1,276 @@
+//! The testbed specification (paper Table 2) and every timing
+//! calibration constant, with the measurement each one is tied to.
+//!
+//! Centralizing the constants here keeps the rest of the code free of
+//! magic numbers and gives EXPERIMENTS.md a single place to reference
+//! when comparing paper values to simulated values.
+
+use ps_sim::time::Time;
+use ps_sim::GIGA;
+
+/// CPU specification: Intel Xeon X5550 (Nehalem, 4 cores, 2.66 GHz).
+#[derive(Debug, Clone, Copy)]
+pub struct CpuSpec {
+    /// Core clock in Hz.
+    pub hz: u64,
+    /// Cores per socket.
+    pub cores: u32,
+    /// Local DRAM access latency (ns). Nehalem + DDR3-1333.
+    pub mem_latency_local_ns: u64,
+    /// Remote-node DRAM access latency: paper §4.5 reports 40–50 %
+    /// higher than local; we use +45 %.
+    pub mem_latency_remote_ns: u64,
+    /// Outstanding misses one core can sustain in the best case
+    /// (§2.4 microbenchmark: "about 6 outstanding cache misses").
+    pub mshr_per_core: u32,
+    /// Outstanding misses per core when all four cores burst
+    /// references (§2.4: "only 4 misses").
+    pub mshr_contended: u32,
+    /// Cache line size (x86): every random access costs one line of
+    /// memory bandwidth (§2.4).
+    pub cache_line: u32,
+    /// Per-socket memory bandwidth, bits/s (§2.4: 32 GB/s).
+    pub mem_bw_bits: u64,
+}
+
+impl CpuSpec {
+    /// The Xeon X5550 as configured in Table 2.
+    pub const fn x5550() -> CpuSpec {
+        CpuSpec {
+            hz: 2_660_000_000,
+            cores: 4,
+            mem_latency_local_ns: 60,
+            mem_latency_remote_ns: 87,
+            mshr_per_core: 6,
+            mshr_contended: 4,
+            cache_line: 64,
+            mem_bw_bits: 32 * 8 * GIGA,
+        }
+    }
+}
+
+/// GPU specification: NVIDIA GTX480 (Fermi) as described in §2.1.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuSpec {
+    /// Streaming multiprocessors.
+    pub sms: u32,
+    /// Stream processors (lanes) per SM.
+    pub lanes_per_sm: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Maximum resident warps per SM ("the scheduler in an SM holds
+    /// up to 32 warps", §2.1).
+    pub max_warps_per_sm: u32,
+    /// Shader clock in Hz (1.4 GHz).
+    pub hz: u64,
+    /// Device memory size in bytes (1.5 GB).
+    pub mem_bytes: u64,
+    /// Device memory bandwidth, bits/s (§2.4: 177.4 GB/s).
+    pub mem_bw_bits: u64,
+    /// Device memory access latency in ns (Fermi global load,
+    /// 400–800 cycles; 600 cycles at 1.4 GHz ≈ 430 ns).
+    pub mem_latency_ns: u64,
+    /// Maximum memory transactions in flight per SM; bounds the
+    /// latency-hiding capacity like CPU MSHRs do.
+    pub max_mem_inflight_per_sm: u32,
+    /// Memory transaction granularity (coalescing segment), bytes.
+    pub mem_segment: u32,
+    /// Kernel launch latency for one thread (§2.2: 3.8 µs).
+    pub launch_base_ns: u64,
+    /// Additional launch cost per thread (§2.2: 4096 threads cost
+    /// 4.1 µs, i.e. ~0.073 ns/thread).
+    pub launch_per_thread_ps: u64,
+}
+
+impl GpuSpec {
+    /// The GTX480 as configured in Table 2.
+    pub const fn gtx480() -> GpuSpec {
+        GpuSpec {
+            sms: 15,
+            lanes_per_sm: 32,
+            warp_size: 32,
+            max_warps_per_sm: 32,
+            hz: 1_400_000_000,
+            mem_bytes: 1_536 * 1024 * 1024,
+            mem_bw_bits: 1774 * 8 * GIGA / 10,
+            mem_latency_ns: 430,
+            max_mem_inflight_per_sm: 48,
+            mem_segment: 128,
+            launch_base_ns: 3_800,
+            launch_per_thread_ps: 73,
+        }
+    }
+
+    /// Total lanes (480 "cores" for GTX480).
+    pub const fn total_lanes(&self) -> u32 {
+        self.sms * self.lanes_per_sm
+    }
+}
+
+/// PCIe transfer-direction parameters fitted against paper Table 1
+/// (`rate(S) = S / (t0 + S/bw)`).
+///
+/// * host→device: t0 = 4.6 µs, bw = 5.72 GB/s reproduces
+///   55 MB/s @256 B … 5577 MB/s @1 MB within ~6 %.
+/// * device→host: t0 = 4.0 µs, bw = 3.44 GB/s reproduces
+///   63 MB/s @256 B … 3394 MB/s @1 MB within ~2 %.
+///
+/// The asymmetry is the dual-IOH problem of §3.2 — it is part of the
+/// fitted constants, not added separately.
+#[derive(Debug, Clone, Copy)]
+pub struct PcieSpec {
+    /// Fixed per-transfer latency host→device (ns).
+    pub h2d_overhead_ns: u64,
+    /// host→device bandwidth, bits/s.
+    pub h2d_bw_bits: u64,
+    /// Fixed per-transfer latency device→host (ns).
+    pub d2h_overhead_ns: u64,
+    /// device→host bandwidth, bits/s.
+    pub d2h_bw_bits: u64,
+}
+
+impl PcieSpec {
+    /// PCIe 2.0 x16 on the dual-5520 board, as measured in Table 1.
+    pub const fn dual_ioh_x16() -> PcieSpec {
+        PcieSpec {
+            h2d_overhead_ns: 4_600,
+            h2d_bw_bits: 5_720 * 8 * MEGA_BYTES,
+            d2h_overhead_ns: 4_000,
+            d2h_bw_bits: 3_440 * 8 * MEGA_BYTES,
+        }
+    }
+}
+
+const MEGA_BYTES: u64 = 1_000_000;
+
+/// Per-IOH DMA capacity, calibrated from §4.6 / Figure 6:
+///
+/// * RX-only peaks at 53–60 Gbps over two IOHs → ~28 Gbps of
+///   device→host DMA per IOH;
+/// * TX-only reaches 79–80 Gbps → ~40 Gbps of host→device per IOH;
+/// * forwarding (RX+TX together) tops out at ~41 Gbps total →
+///   a combined per-IOH ceiling of ~20.5 + 20.5 Gbps.
+///
+/// Each DMA transaction is constrained by both its direction server
+/// and the combined server; the binding constraint emerges per
+/// workload mix exactly as in the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct IohSpec {
+    /// device→host capacity per IOH, bits/s.
+    pub d2h_bits: u64,
+    /// host→device capacity per IOH, bits/s.
+    pub h2d_bits: u64,
+    /// Combined bidirectional capacity per IOH, bits/s.
+    pub combined_bits: u64,
+    /// Per-DMA-transaction fixed overhead (descriptor fetch, TLP
+    /// framing), ns.
+    pub per_dma_overhead_ns: Time,
+}
+
+impl IohSpec {
+    /// Intel 5520 as it behaves on the dual-IOH board (§3.2).
+    pub const fn intel_5520_dual() -> IohSpec {
+        IohSpec {
+            d2h_bits: 28 * GIGA,
+            h2d_bits: 40 * GIGA,
+            combined_bits: 42 * GIGA,
+            per_dma_overhead_ns: 0,
+        }
+    }
+}
+
+/// NIC/port constants.
+#[derive(Debug, Clone, Copy)]
+pub struct NicSpec {
+    /// Port line rate, bits/s.
+    pub line_rate_bits: u64,
+    /// RX/TX descriptor ring size per queue.
+    pub ring_entries: usize,
+    /// Interrupt-moderation delay. §6.4 attributes the higher latency
+    /// at low input rates to this; the observed ~200 µs floor implies
+    /// an effective ITR around 200 µs for the paper's ixgbe build.
+    pub interrupt_moderation_ns: Time,
+}
+
+impl NicSpec {
+    /// Intel 82599 (X520-DA2) port.
+    pub const fn x520() -> NicSpec {
+        NicSpec {
+            line_rate_bits: 10 * GIGA,
+            ring_entries: 1024,
+            interrupt_moderation_ns: 200_000,
+        }
+    }
+}
+
+/// The whole Table 2 server.
+#[derive(Debug, Clone, Copy)]
+pub struct Testbed {
+    /// Per-socket CPU spec (one socket per NUMA node).
+    pub cpu: CpuSpec,
+    /// Per-card GPU spec (one per node).
+    pub gpu: GpuSpec,
+    /// PCIe transfer model for GPU copies.
+    pub pcie: PcieSpec,
+    /// Per-IOH capacity.
+    pub ioh: IohSpec,
+    /// NIC/port constants.
+    pub nic: NicSpec,
+    /// NUMA nodes in the system.
+    pub nodes: u32,
+    /// 10 GbE ports per node (two dual-port NICs).
+    pub ports_per_node: u32,
+}
+
+impl Testbed {
+    /// The $7,000 server of Table 2.
+    pub const fn paper() -> Testbed {
+        Testbed {
+            cpu: CpuSpec::x5550(),
+            gpu: GpuSpec::gtx480(),
+            pcie: PcieSpec::dual_ioh_x16(),
+            ioh: IohSpec::intel_5520_dual(),
+            nic: NicSpec::x520(),
+            nodes: 2,
+            ports_per_node: 4,
+        }
+    }
+
+    /// Total 10 GbE ports (8).
+    pub const fn total_ports(&self) -> u32 {
+        self.nodes * self.ports_per_node
+    }
+
+    /// Total CPU cores (8).
+    pub const fn total_cores(&self) -> u32 {
+        self.nodes * self.cpu.cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let t = Testbed::paper();
+        assert_eq!(t.total_ports(), 8);
+        assert_eq!(t.total_cores(), 8);
+        assert_eq!(t.gpu.total_lanes(), 480);
+        assert_eq!(t.cpu.hz, 2_660_000_000);
+    }
+
+    #[test]
+    fn gpu_mem_bandwidth_matches_paper() {
+        let g = GpuSpec::gtx480();
+        // 177.4 GB/s
+        assert_eq!(g.mem_bw_bits, 1_419_200_000_000);
+    }
+
+    #[test]
+    fn remote_latency_is_40_to_50_percent_higher() {
+        let c = CpuSpec::x5550();
+        let ratio = c.mem_latency_remote_ns as f64 / c.mem_latency_local_ns as f64;
+        assert!((1.40..=1.50).contains(&ratio), "ratio={ratio}");
+    }
+}

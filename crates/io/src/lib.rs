@@ -1,0 +1,44 @@
+//! # ps-io — the optimized packet I/O engine (paper §4)
+//!
+//! The paper's first contribution: user-level multi-10G packet I/O.
+//! This crate holds the engine's data structures and cost models; the
+//! event-driven router that drives them lives in `ps-core`.
+//!
+//! * [`hugebuf`] — the huge packet buffer (Figure 4(b)): fixed
+//!   2,048 B data cells and 8 B compact metadata cells, recycled with
+//!   the RX ring instead of per-packet skb allocation;
+//! * [`packet`] — the owned packet record that moves through the
+//!   simulated pipeline;
+//! * [`cost`] — the calibrated CPU-cycle model: the legacy Linux skb
+//!   path with Table 3's bins, and the batched engine path whose
+//!   per-packet + per-batch split reproduces Figure 5;
+//! * [`config`] — engine knobs: batch cap, NUMA placement policy,
+//!   queue↔core maps.
+
+pub mod config;
+pub mod cost;
+pub mod hugebuf;
+pub mod packet;
+
+pub use config::IoConfig;
+pub use cost::{CostModel, LinuxBaseline};
+pub use hugebuf::HugePacketBuffer;
+pub use packet::Packet;
+
+/// DMA bytes a frame of `len` costs on the fabric: payload rounded up
+/// to whole 64 B cache lines (DMA writes full lines, §4.1) plus a
+/// 16 B descriptor write-back/fetch.
+#[inline]
+pub fn dma_bytes(len: usize) -> u64 {
+    (len.div_ceil(64) * 64 + 16) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn dma_rounding() {
+        assert_eq!(super::dma_bytes(64), 80);
+        assert_eq!(super::dma_bytes(65), 144);
+        assert_eq!(super::dma_bytes(1514), 1536 + 16);
+    }
+}

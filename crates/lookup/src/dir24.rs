@@ -1,0 +1,423 @@
+//! DIR-24-8-BASIC (Gupta, Lin & McKeown, INFOCOM 1998 [22]).
+//!
+//! * `TBL24`: 2²⁴ 16-bit entries indexed by the top 24 address bits.
+//!   High bit clear → the entry *is* the next hop. High bit set → the
+//!   low 15 bits index a 256-entry block in `TBLlong`.
+//! * `TBLlong`: spill blocks indexed by the low 8 address bits.
+//!
+//! One memory access resolves any route of length ≤ 24 (97 % of the
+//! RouteViews table, §6.2.1); a second access resolves the rest.
+
+use crate::mem::{SliceMem, TableMem};
+use crate::route::{lpm4, Route4};
+use crate::NO_ROUTE;
+
+/// Entries in TBL24.
+const TBL24_ENTRIES: usize = 1 << 24;
+/// Flag: entry points into TBLlong.
+const LONG_FLAG: u16 = 0x8000;
+
+/// Byte offsets of the two tables within a serialized image; the
+/// "kernel parameters" a lookup needs besides the image itself.
+#[derive(Debug, Clone, Copy)]
+pub struct Dir24Layout {
+    /// Offset of TBL24.
+    pub tbl24: usize,
+    /// Offset of TBLlong.
+    pub tbllong: usize,
+}
+
+/// A built DIR-24-8 table: flat image + layout.
+///
+/// Supports incremental route insertion (the FIB-update direction the
+/// paper discusses in §7): a shadow array records the prefix length
+/// that painted each entry, so a new route only overwrites entries
+/// painted by equal-or-shorter prefixes. Withdrawals require a
+/// rebuild (as in the original DIR-24-8 proposal).
+pub struct Dir24Table {
+    image: Vec<u8>,
+    layout: Dir24Layout,
+    long_blocks: usize,
+    /// Painting prefix length per TBL24 entry (33 = spilled).
+    len24: Vec<u8>,
+    /// Painting prefix length per TBLlong entry.
+    len_long: Vec<u8>,
+}
+
+impl Dir24Table {
+    /// Build from a route list. Routes are painted shortest-first so
+    /// longer prefixes override; duplicate (prefix, len) pairs resolve
+    /// to the later route.
+    ///
+    /// # Panics
+    /// Panics if more than 2¹⁵ distinct /24 ranges need spill blocks
+    /// (the algorithm's architectural limit).
+    pub fn build(routes: &[Route4]) -> Dir24Table {
+        let mut order: Vec<&Route4> = routes.iter().collect();
+        order.sort_by_key(|r| r.len);
+
+        let mut tbl24 = vec![NO_ROUTE; TBL24_ENTRIES];
+        let mut long: Vec<u16> = Vec::new();
+        // Map from /24 index -> block id, stored in tbl24's low bits.
+        for r in &order {
+            if r.len <= 24 {
+                let start = (r.prefix >> 8) as usize;
+                let count = 1usize << (24 - r.len);
+                for e in &mut tbl24[start..start + count] {
+                    // A shorter route never overwrites a spill block:
+                    // blocks are only created for len>24, which are
+                    // painted after all shorter routes.
+                    *e = r.hop;
+                }
+            } else {
+                let idx24 = (r.prefix >> 8) as usize;
+                let block = if tbl24[idx24] & LONG_FLAG != 0 {
+                    (tbl24[idx24] & !LONG_FLAG) as usize
+                } else {
+                    let id = long.len() / 256;
+                    assert!(id < (LONG_FLAG as usize), "TBLlong exhausted");
+                    let fill = tbl24[idx24];
+                    long.extend(std::iter::repeat(fill).take(256));
+                    tbl24[idx24] = LONG_FLAG | id as u16;
+                    id
+                };
+                let lo = (r.prefix & 0xFF) as usize;
+                let count = 1usize << (32 - r.len);
+                let base = block * 256;
+                for e in &mut long[base + lo..base + lo + count] {
+                    *e = r.hop;
+                }
+            }
+        }
+
+        let tbl24_bytes = TBL24_ENTRIES * 2;
+        let mut image = vec![0u8; tbl24_bytes + long.len() * 2];
+        for (i, v) in tbl24.iter().enumerate() {
+            image[i * 2..i * 2 + 2].copy_from_slice(&v.to_le_bytes());
+        }
+        for (i, v) in long.iter().enumerate() {
+            let off = tbl24_bytes + i * 2;
+            image[off..off + 2].copy_from_slice(&v.to_le_bytes());
+        }
+        let mut table = Dir24Table {
+            image,
+            layout: Dir24Layout {
+                tbl24: 0,
+                tbllong: tbl24_bytes,
+            },
+            long_blocks: long.len() / 256,
+            len24: vec![0; TBL24_ENTRIES],
+            len_long: vec![0; long.len()],
+        };
+        table.rebuild_shadow(&order);
+        table
+    }
+
+    /// Recompute the painting-length shadow from the build order.
+    fn rebuild_shadow(&mut self, order: &[&Route4]) {
+        for r in order {
+            if r.len <= 24 {
+                let start = (r.prefix >> 8) as usize;
+                for idx in start..start + (1usize << (24 - r.len)) {
+                    if self.tbl24_entry(idx) & LONG_FLAG != 0 {
+                        // Entries inside the spilled block inherit.
+                        let block = (self.tbl24_entry(idx) & !LONG_FLAG) as usize;
+                        for e in 0..256 {
+                            let li = block * 256 + e;
+                            if self.len_long[li] <= r.len {
+                                // hop already painted during build
+                                self.len_long[li] = self.len_long[li].max(r.len);
+                            }
+                        }
+                        self.len24[idx] = 33;
+                    } else if self.len24[idx] <= r.len {
+                        self.len24[idx] = r.len;
+                    }
+                }
+            } else {
+                let idx = (r.prefix >> 8) as usize;
+                self.len24[idx] = 33;
+                let block = (self.tbl24_entry(idx) & !LONG_FLAG) as usize;
+                let lo = (r.prefix & 0xFF) as usize;
+                for e in lo..lo + (1usize << (32 - r.len)) {
+                    let li = block * 256 + e;
+                    self.len_long[li] = self.len_long[li].max(r.len);
+                }
+            }
+        }
+    }
+
+    fn tbl24_entry(&self, idx: usize) -> u16 {
+        let o = self.layout.tbl24 + idx * 2;
+        u16::from_le_bytes([self.image[o], self.image[o + 1]])
+    }
+
+    fn set_tbl24_entry(&mut self, idx: usize, v: u16) {
+        let o = self.layout.tbl24 + idx * 2;
+        self.image[o..o + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    #[cfg(test)]
+    fn long_entry(&self, li: usize) -> u16 {
+        let o = self.layout.tbllong + li * 2;
+        u16::from_le_bytes([self.image[o], self.image[o + 1]])
+    }
+
+    fn set_long_entry(&mut self, li: usize, v: u16) {
+        let o = self.layout.tbllong + li * 2;
+        self.image[o..o + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Incrementally insert (or replace) a route without rebuilding —
+    /// the §7 FIB-update path. Entries painted by longer prefixes are
+    /// left untouched.
+    pub fn insert(&mut self, r: Route4) {
+        if r.len <= 24 {
+            let start = (r.prefix >> 8) as usize;
+            for idx in start..start + (1usize << (24 - r.len)) {
+                let e = self.tbl24_entry(idx);
+                if e & LONG_FLAG != 0 {
+                    let block = (e & !LONG_FLAG) as usize;
+                    for off in 0..256 {
+                        let li = block * 256 + off;
+                        if self.len_long[li] <= r.len {
+                            self.set_long_entry(li, r.hop);
+                            self.len_long[li] = r.len;
+                        }
+                    }
+                } else if self.len24[idx] <= r.len {
+                    self.set_tbl24_entry(idx, r.hop);
+                    self.len24[idx] = r.len;
+                }
+            }
+        } else {
+            let idx = (r.prefix >> 8) as usize;
+            let e = self.tbl24_entry(idx);
+            let block = if e & LONG_FLAG != 0 {
+                (e & !LONG_FLAG) as usize
+            } else {
+                // Spill: grow TBLlong by one block inheriting the
+                // direct entry.
+                let id = self.long_blocks;
+                assert!(id < LONG_FLAG as usize, "TBLlong exhausted");
+                let fill = e;
+                let fill_len = self.len24[idx];
+                self.image
+                    .extend(std::iter::repeat(fill.to_le_bytes()).take(256).flatten());
+                self.len_long.extend(std::iter::repeat(fill_len).take(256));
+                self.long_blocks += 1;
+                self.set_tbl24_entry(idx, LONG_FLAG | id as u16);
+                self.len24[idx] = 33;
+                id
+            };
+            let lo = (r.prefix & 0xFF) as usize;
+            for off in lo..lo + (1usize << (32 - r.len)) {
+                let li = block * 256 + off;
+                if self.len_long[li] <= r.len {
+                    self.set_long_entry(li, r.hop);
+                    self.len_long[li] = r.len;
+                }
+            }
+        }
+    }
+
+    /// The serialized image (uploaded to GPU device memory verbatim).
+    pub fn image(&self) -> &[u8] {
+        &self.image
+    }
+
+    /// The image layout (passed to kernels as launch parameters).
+    pub fn layout(&self) -> Dir24Layout {
+        self.layout
+    }
+
+    /// Number of 256-entry spill blocks allocated.
+    pub fn long_blocks(&self) -> usize {
+        self.long_blocks
+    }
+
+    /// CPU-side lookup against the table's own image.
+    pub fn lookup_host(&self, addr: u32) -> u16 {
+        let mut mem = SliceMem::new(&self.image);
+        lookup(&self.layout, &mut mem, addr)
+    }
+}
+
+/// The lookup itself, generic over where the image lives. Returns a
+/// next hop or [`NO_ROUTE`]. Exactly the DIR-24-8 access pattern: one
+/// `TBL24` read, plus one `TBLlong` read when the entry spills.
+#[inline]
+pub fn lookup<M: TableMem>(layout: &Dir24Layout, mem: &mut M, addr: u32) -> u16 {
+    let hi = (addr >> 8) as usize;
+    let e = mem.read_u16(layout.tbl24 + hi * 2);
+    if e & LONG_FLAG == 0 {
+        return e;
+    }
+    let block = (e & !LONG_FLAG) as usize;
+    let lo = (addr & 0xFF) as usize;
+    mem.read_u16(layout.tbllong + (block * 256 + lo) * 2)
+}
+
+/// Reference check helper: table lookup must equal the oracle.
+pub fn matches_oracle(table: &Dir24Table, routes: &[Route4], addr: u32) -> bool {
+    table.lookup_host(addr) == lpm4(routes, addr).unwrap_or(NO_ROUTE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::CountingMem;
+
+    fn simple_routes() -> Vec<Route4> {
+        vec![
+            Route4::new(0x0A000000, 8, 1),    // 10/8
+            Route4::new(0x0A0B0000, 16, 2),   // 10.11/16
+            Route4::new(0x0A0B0C00, 24, 3),   // 10.11.12/24
+            Route4::new(0x0A0B0C80, 25, 4),   // 10.11.12.128/25
+            Route4::new(0x0A0B0CFF, 32, 5),   // 10.11.12.255/32
+            Route4::new(0x00000000, 0, 6),    // default
+        ]
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let routes = simple_routes();
+        let t = Dir24Table::build(&routes);
+        assert_eq!(t.lookup_host(0x0A0B0C01), 3); // /24
+        assert_eq!(t.lookup_host(0x0A0B0C81), 4); // /25
+        assert_eq!(t.lookup_host(0x0A0B0CFF), 5); // /32
+        assert_eq!(t.lookup_host(0x0A0B0D01), 2); // /16
+        assert_eq!(t.lookup_host(0x0A0C0000), 1); // /8
+        assert_eq!(t.lookup_host(0xDEADBEEF), 6); // default
+    }
+
+    #[test]
+    fn no_default_returns_no_route() {
+        let t = Dir24Table::build(&[Route4::new(0x0A000000, 8, 1)]);
+        assert_eq!(t.lookup_host(0x0B000000), NO_ROUTE);
+    }
+
+    #[test]
+    fn access_counts_match_paper() {
+        // §6.2.1: one access for <=24, one more for longer matches.
+        let routes = simple_routes();
+        let t = Dir24Table::build(&routes);
+
+        let count = |addr: u32| {
+            let mut mem = CountingMem::new(SliceMem::new(t.image()));
+            let hop = lookup(&t.layout(), &mut mem, addr);
+            (hop, mem.accesses)
+        };
+        // /16 match: single access.
+        assert_eq!(count(0x0A0B0D01), (2, 1));
+        // Inside a spilled /24: two accesses even for the /24 part.
+        assert_eq!(count(0x0A0B0C01), (3, 2));
+        assert_eq!(count(0x0A0B0C81), (4, 2));
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_dense_sample() {
+        let routes = simple_routes();
+        let t = Dir24Table::build(&routes);
+        // Sweep around every route boundary.
+        for base in [0x0A000000u32, 0x0A0B0000, 0x0A0B0C00, 0x0A0B0C80, 0x0A0B0CFF] {
+            for delta in -2i64..=2 {
+                let addr = (base as i64 + delta) as u32;
+                assert!(
+                    matches_oracle(&t, &routes, addr),
+                    "mismatch at {addr:#010x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spill_block_reuse() {
+        // Two >24 routes in the same /24 share one block.
+        let routes = vec![
+            Route4::new(0x01020300, 26, 1),
+            Route4::new(0x01020380, 26, 2),
+        ];
+        let t = Dir24Table::build(&routes);
+        assert_eq!(t.long_blocks(), 1);
+        assert_eq!(t.lookup_host(0x01020301), 1);
+        assert_eq!(t.lookup_host(0x01020381), 2);
+        assert_eq!(t.lookup_host(0x01020250), NO_ROUTE);
+    }
+
+    #[test]
+    fn spill_block_inherits_shorter_route() {
+        let routes = vec![
+            Route4::new(0x01020000, 16, 7),
+            Route4::new(0x01020340, 30, 8),
+        ];
+        let t = Dir24Table::build(&routes);
+        // Addresses in the spilled /24 but outside the /30 still get
+        // the /16's hop.
+        assert_eq!(t.lookup_host(0x01020301), 7);
+        assert_eq!(t.lookup_host(0x01020341), 8);
+    }
+
+    #[test]
+    fn incremental_insert_equals_rebuild() {
+        // Start from a base set, insert more routes one by one; the
+        // incremental table must match a from-scratch build at every
+        // step.
+        let base = simple_routes();
+        let extra = [
+            Route4::new(0x0A0B0C40, 26, 1),  // inside the spilled /24
+            Route4::new(0x0A0B0000, 18, 2),  // covers the spilled /24
+            Route4::new(0xC0A80000, 16, 3),  // fresh region
+            Route4::new(0xC0A80180, 25, 4),  // new spill
+            Route4::new(0xC0A80000, 16, 5),  // replace an existing route
+        ];
+        let mut table = Dir24Table::build(&base);
+        let mut all = base;
+        for r in extra {
+            table.insert(r);
+            all.push(r);
+            for probe in [
+                0x0A0B0C41u32, 0x0A0B0C01, 0x0A0B0C81, 0x0A0BFFFF, 0x0A0B0001,
+                0xC0A80001, 0xC0A80181, 0xC0A801FF, 0xC0A80101, 0xDEADBEEF,
+            ] {
+                assert!(
+                    matches_oracle(&table, &all, probe),
+                    "after {r:?}: mismatch at {probe:#010x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_insert_never_overwrites_longer_prefixes() {
+        let mut table = Dir24Table::build(&[Route4::new(0x0A0B0C00, 24, 9)]);
+        table.insert(Route4::new(0x0A000000, 8, 1));
+        assert_eq!(table.lookup_host(0x0A0B0C01), 9, "/24 survives a /8 insert");
+        assert_eq!(table.lookup_host(0x0A000001), 1);
+    }
+
+    #[test]
+    fn incremental_spill_inherits_current_entry() {
+        let mut table = Dir24Table::build(&[Route4::new(0x01020000, 16, 7)]);
+        table.insert(Route4::new(0x01020340, 30, 8));
+        assert_eq!(table.long_blocks(), 1);
+        assert_eq!(table.lookup_host(0x01020301), 7, "inherited /16");
+        assert_eq!(table.lookup_host(0x01020341), 8);
+        // The shadow knows the inherited entries are /16-painted:
+        // a /20 insert must overwrite them but not the /30.
+        table.insert(Route4::new(0x01020000, 20, 6));
+        assert_eq!(table.lookup_host(0x01020301), 6);
+        assert_eq!(table.lookup_host(0x01020341), 8);
+        let block_entry = table.long_entry(0x41);
+        assert_eq!(block_entry, 8);
+    }
+
+    #[test]
+    fn image_round_trips_through_slice_mem() {
+        let routes = simple_routes();
+        let t = Dir24Table::build(&routes);
+        let image = t.image().to_vec();
+        let mut mem = SliceMem::new(&image);
+        assert_eq!(lookup(&t.layout(), &mut mem, 0x0A0B0C81), 4);
+    }
+}

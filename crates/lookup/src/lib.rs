@@ -1,0 +1,34 @@
+//! # ps-lookup — longest-prefix-match forwarding tables
+//!
+//! The two lookup algorithms PacketShader evaluates, implemented over
+//! flat, serializable **table images** so the *same* lookup code runs
+//! on the CPU (borrowing the image as a slice) and on the simulated
+//! GPU (reading the image from device memory through a
+//! [`TableMem`] accessor that records the memory-access trace):
+//!
+//! * [`dir24`] — DIR-24-8-BASIC (Gupta, Lin, McKeown [22]): a 2²⁴-entry
+//!   16-bit first table plus spill blocks; one memory access for
+//!   routes of /24 or shorter, two otherwise (§6.2.1).
+//! * [`waldvogel`] — binary search on prefix lengths (Waldvogel et
+//!   al. [55]) for IPv6: per-length hash tables with markers and
+//!   precomputed best-match prefixes; ⌈log₂ 128⌉ = 7 probes per
+//!   lookup (§6.2.2 "requires seven memory accesses").
+//!
+//! [`synth`] generates the evaluation workloads: a RouteViews-shaped
+//! IPv4 prefix set (282,797 prefixes, 3 % longer than /24) and the
+//! 200,000-prefix random IPv6 set.
+
+pub mod dir24;
+pub mod mem;
+pub mod route;
+pub mod synth;
+pub mod waldvogel;
+
+pub use dir24::{Dir24Layout, Dir24Table};
+pub use mem::{CountingMem, SliceMem, TableMem};
+pub use route::{lpm4, lpm6, Route4, Route6};
+pub use waldvogel::{V6Layout, V6Table};
+
+/// "No route" next-hop sentinel. Next-hop values are port/adjacency
+/// indices below this.
+pub const NO_ROUTE: u16 = 0x7FFF;

@@ -1,0 +1,100 @@
+//! The [`TableMem`] accessor: how lookup code reads a table image.
+//!
+//! Lookups are written once against this trait; binding it to a
+//! slice gives the CPU path, binding it to GPU device memory (in
+//! `ps-core`) gives the shader path, and [`CountingMem`] wraps either
+//! to produce the memory-access profiles the CPU cost model charges.
+
+/// Read access to a flat table image.
+pub trait TableMem {
+    /// Read a little-endian `u16` at byte offset `off`.
+    fn read_u16(&mut self, off: usize) -> u16;
+    /// Read a little-endian `u32` at byte offset `off`.
+    fn read_u32(&mut self, off: usize) -> u32;
+    /// Read `N` raw bytes at byte offset `off`.
+    fn read_bytes<const N: usize>(&mut self, off: usize) -> [u8; N];
+}
+
+/// CPU-side accessor: a borrowed image slice.
+pub struct SliceMem<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> SliceMem<'a> {
+    /// Wrap an image.
+    pub fn new(data: &'a [u8]) -> SliceMem<'a> {
+        SliceMem { data }
+    }
+}
+
+impl TableMem for SliceMem<'_> {
+    #[inline]
+    fn read_u16(&mut self, off: usize) -> u16 {
+        u16::from_le_bytes(self.data[off..off + 2].try_into().expect("in bounds"))
+    }
+
+    #[inline]
+    fn read_u32(&mut self, off: usize) -> u32 {
+        u32::from_le_bytes(self.data[off..off + 4].try_into().expect("in bounds"))
+    }
+
+    #[inline]
+    fn read_bytes<const N: usize>(&mut self, off: usize) -> [u8; N] {
+        self.data[off..off + N].try_into().expect("in bounds")
+    }
+}
+
+/// Decorator that counts accesses, for cost-model profiles.
+pub struct CountingMem<M> {
+    inner: M,
+    /// Number of reads performed.
+    pub accesses: u64,
+}
+
+impl<M> CountingMem<M> {
+    /// Wrap an accessor.
+    pub fn new(inner: M) -> CountingMem<M> {
+        CountingMem { inner, accesses: 0 }
+    }
+}
+
+impl<M: TableMem> TableMem for CountingMem<M> {
+    fn read_u16(&mut self, off: usize) -> u16 {
+        self.accesses += 1;
+        self.inner.read_u16(off)
+    }
+
+    fn read_u32(&mut self, off: usize) -> u32 {
+        self.accesses += 1;
+        self.inner.read_u32(off)
+    }
+
+    fn read_bytes<const N: usize>(&mut self, off: usize) -> [u8; N] {
+        self.accesses += 1;
+        self.inner.read_bytes(off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_mem_reads_le() {
+        let data = [0x01u8, 0x02, 0x03, 0x04, 0xAA];
+        let mut m = SliceMem::new(&data);
+        assert_eq!(m.read_u16(0), 0x0201);
+        assert_eq!(m.read_u32(0), 0x04030201);
+        assert_eq!(m.read_bytes::<2>(3), [0x04, 0xAA]);
+    }
+
+    #[test]
+    fn counting_mem_counts() {
+        let data = [0u8; 16];
+        let mut m = CountingMem::new(SliceMem::new(&data));
+        let _ = m.read_u16(0);
+        let _ = m.read_u32(4);
+        let _ = m.read_bytes::<8>(8);
+        assert_eq!(m.accesses, 3);
+    }
+}

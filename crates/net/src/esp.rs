@@ -1,0 +1,191 @@
+//! IPsec Encapsulating Security Payload (RFC 4303), tunnel mode — the
+//! on-wire format the IPsec gateway application produces (§6.2.4).
+//!
+//! Layout of the ESP packet carried as the IPv4 payload:
+//!
+//! ```text
+//! +-------------------+  0
+//! | SPI (4)           |
+//! | Sequence (4)      |
+//! +-------------------+  8
+//! | IV (8, CTR nonce) |
+//! +-------------------+  16
+//! | encrypted payload |  (inner IP packet + padding + pad_len + NH)
+//! +-------------------+
+//! | ICV (12, HMAC-96) |
+//! +-------------------+
+//! ```
+
+use crate::{Error, Result};
+
+/// SPI + sequence number.
+pub const HEADER_LEN: usize = 8;
+/// Initialization-vector length used with AES-CTR (RFC 3686 style:
+/// 8-byte explicit IV per packet).
+pub const IV_LEN: usize = 8;
+/// Truncated HMAC-SHA1-96 integrity check value length.
+pub const ICV_LEN: usize = 12;
+/// ESP trailer minimum: pad-length byte + next-header byte.
+pub const TRAILER_MIN: usize = 2;
+/// AES block size the padding aligns to.
+pub const BLOCK: usize = 16;
+
+/// Total ESP overhead added to an inner packet of `inner_len` bytes
+/// (header + IV + padding + trailer + ICV).
+pub fn overhead(inner_len: usize) -> usize {
+    let with_trailer = inner_len + TRAILER_MIN;
+    let padded = with_trailer.div_ceil(BLOCK) * BLOCK;
+    (padded - inner_len) + HEADER_LEN + IV_LEN + ICV_LEN
+}
+
+/// Typed view over an ESP packet (the IP payload).
+#[derive(Debug, Clone)]
+pub struct EspPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EspPacket<T> {
+    /// Wrap a buffer, validating minimum length and ciphertext block
+    /// alignment.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN + IV_LEN + ICV_LEN + BLOCK {
+            return Err(Error::Truncated);
+        }
+        let p = EspPacket { buffer };
+        if p.ciphertext().len() % BLOCK != 0 {
+            return Err(Error::BadLength);
+        }
+        Ok(p)
+    }
+
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        EspPacket { buffer }
+    }
+
+    fn b(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    /// Security Parameters Index.
+    pub fn spi(&self) -> u32 {
+        u32::from_be_bytes(self.b()[0..4].try_into().expect("checked length"))
+    }
+
+    /// Anti-replay sequence number.
+    pub fn seq(&self) -> u32 {
+        u32::from_be_bytes(self.b()[4..8].try_into().expect("checked length"))
+    }
+
+    /// The per-packet IV.
+    pub fn iv(&self) -> &[u8] {
+        &self.b()[HEADER_LEN..HEADER_LEN + IV_LEN]
+    }
+
+    /// Encrypted payload (inner packet + padding + trailer).
+    pub fn ciphertext(&self) -> &[u8] {
+        let b = self.b();
+        &b[HEADER_LEN + IV_LEN..b.len() - ICV_LEN]
+    }
+
+    /// The integrity check value.
+    pub fn icv(&self) -> &[u8] {
+        let b = self.b();
+        &b[b.len() - ICV_LEN..]
+    }
+
+    /// The region the ICV authenticates: header + IV + ciphertext.
+    pub fn authenticated(&self) -> &[u8] {
+        let b = self.b();
+        &b[..b.len() - ICV_LEN]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EspPacket<T> {
+    fn m(&mut self) -> &mut [u8] {
+        self.buffer.as_mut()
+    }
+
+    /// Set the SPI.
+    pub fn set_spi(&mut self, spi: u32) {
+        self.m()[0..4].copy_from_slice(&spi.to_be_bytes());
+    }
+
+    /// Set the sequence number.
+    pub fn set_seq(&mut self, seq: u32) {
+        self.m()[4..8].copy_from_slice(&seq.to_be_bytes());
+    }
+
+    /// Set the IV.
+    pub fn set_iv(&mut self, iv: &[u8; IV_LEN]) {
+        self.m()[HEADER_LEN..HEADER_LEN + IV_LEN].copy_from_slice(iv);
+    }
+
+    /// Mutable ciphertext region.
+    pub fn ciphertext_mut(&mut self) -> &mut [u8] {
+        let len = self.b().len();
+        &mut self.m()[HEADER_LEN + IV_LEN..len - ICV_LEN]
+    }
+
+    /// Set the ICV.
+    pub fn set_icv(&mut self, icv: &[u8; ICV_LEN]) {
+        let len = self.b().len();
+        self.m()[len - ICV_LEN..].copy_from_slice(icv);
+    }
+}
+
+/// Compute the padded ciphertext length for an inner packet.
+pub fn ciphertext_len(inner_len: usize) -> usize {
+    (inner_len + TRAILER_MIN).div_ceil(BLOCK) * BLOCK
+}
+
+/// Total ESP packet length (IP payload) for an inner packet.
+pub fn total_len(inner_len: usize) -> usize {
+    HEADER_LEN + IV_LEN + ciphertext_len(inner_len) + ICV_LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_consistent_with_lengths() {
+        for inner in [14, 16, 60, 64, 100, 1400] {
+            assert_eq!(total_len(inner), inner + overhead(inner), "inner={inner}");
+            assert_eq!(ciphertext_len(inner) % BLOCK, 0);
+            assert!(ciphertext_len(inner) >= inner + TRAILER_MIN);
+            // Padding never exceeds one block.
+            assert!(ciphertext_len(inner) < inner + TRAILER_MIN + BLOCK);
+        }
+    }
+
+    #[test]
+    fn field_round_trip() {
+        let mut v = vec![0u8; total_len(64)];
+        let mut p = EspPacket::new_unchecked(&mut v[..]);
+        p.set_spi(0x1001);
+        p.set_seq(42);
+        p.set_iv(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        p.set_icv(&[9; ICV_LEN]);
+        let p = EspPacket::new_checked(&v[..]).unwrap();
+        assert_eq!(p.spi(), 0x1001);
+        assert_eq!(p.seq(), 42);
+        assert_eq!(p.iv(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(p.icv(), &[9; ICV_LEN]);
+        assert_eq!(p.ciphertext().len(), ciphertext_len(64));
+        assert_eq!(p.authenticated().len(), v.len() - ICV_LEN);
+    }
+
+    #[test]
+    fn misaligned_ciphertext_rejected() {
+        let v = vec![0u8; total_len(64) + 1];
+        assert_eq!(EspPacket::new_checked(&v[..]).unwrap_err(), Error::BadLength);
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        let v = vec![0u8; HEADER_LEN + IV_LEN + ICV_LEN];
+        assert_eq!(EspPacket::new_checked(&v[..]).unwrap_err(), Error::Truncated);
+    }
+}

@@ -1,0 +1,204 @@
+//! TCP segment headers (RFC 9293). The router only reads the fields
+//! that feed the OpenFlow flow key and RSS hash; no connection state
+//! machine is needed for a forwarding plane.
+
+use crate::{Error, Result};
+
+/// TCP base header length (no options).
+pub const HEADER_LEN: usize = 20;
+
+/// TCP flags as a bitfield.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag.
+    pub const FIN: u8 = 0x01;
+    /// SYN flag.
+    pub const SYN: u8 = 0x02;
+    /// RST flag.
+    pub const RST: u8 = 0x04;
+    /// PSH flag.
+    pub const PSH: u8 = 0x08;
+    /// ACK flag.
+    pub const ACK: u8 = 0x10;
+
+    /// Is the SYN bit set?
+    pub fn syn(&self) -> bool {
+        self.0 & Self::SYN != 0
+    }
+
+    /// Is the ACK bit set?
+    pub fn ack(&self) -> bool {
+        self.0 & Self::ACK != 0
+    }
+}
+
+/// Typed view over a TCP segment.
+#[derive(Debug, Clone)]
+pub struct TcpSegment<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> TcpSegment<T> {
+    /// Wrap a buffer, validating the header and data offset.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let s = TcpSegment { buffer };
+        if s.header_len() < HEADER_LEN || s.header_len() > len {
+            return Err(Error::Malformed);
+        }
+        Ok(s)
+    }
+
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        TcpSegment { buffer }
+    }
+
+    fn b(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.b()[0], self.b()[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.b()[2], self.b()[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        u32::from_be_bytes(self.b()[4..8].try_into().expect("checked length"))
+    }
+
+    /// Acknowledgement number.
+    pub fn ack(&self) -> u32 {
+        u32::from_be_bytes(self.b()[8..12].try_into().expect("checked length"))
+    }
+
+    /// Header length from the data-offset field (×4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.b()[12] >> 4) * 4
+    }
+
+    /// Flag bits.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags(self.b()[13])
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        u16::from_be_bytes([self.b()[14], self.b()[15]])
+    }
+
+    /// Payload after the (possibly option-bearing) header.
+    pub fn payload(&self) -> &[u8] {
+        &self.b()[self.header_len()..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpSegment<T> {
+    fn m(&mut self) -> &mut [u8] {
+        self.buffer.as_mut()
+    }
+
+    /// Set the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.m()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.m()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the sequence number.
+    pub fn set_seq(&mut self, s: u32) {
+        self.m()[4..8].copy_from_slice(&s.to_be_bytes());
+    }
+
+    /// Set data offset to 5 (20-byte header).
+    pub fn set_basic_header_len(&mut self) {
+        self.m()[12] = 5 << 4;
+    }
+
+    /// Set the flag bits.
+    pub fn set_flags(&mut self, f: TcpFlags) {
+        self.m()[13] = f.0;
+    }
+
+    /// Set the receive window.
+    pub fn set_window(&mut self, w: u16) {
+        self.m()[14..16].copy_from_slice(&w.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segment() -> Vec<u8> {
+        let mut v = vec![0u8; HEADER_LEN + 4];
+        let mut s = TcpSegment::new_unchecked(&mut v[..]);
+        s.set_src_port(443);
+        s.set_dst_port(51515);
+        s.set_seq(0xDEADBEEF);
+        s.set_basic_header_len();
+        s.set_flags(TcpFlags(TcpFlags::SYN | TcpFlags::ACK));
+        s.set_window(65535);
+        v
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let v = segment();
+        let s = TcpSegment::new_checked(&v[..]).unwrap();
+        assert_eq!(s.src_port(), 443);
+        assert_eq!(s.dst_port(), 51515);
+        assert_eq!(s.seq(), 0xDEADBEEF);
+        assert_eq!(s.header_len(), 20);
+        assert!(s.flags().syn());
+        assert!(s.flags().ack());
+        assert_eq!(s.window(), 65535);
+        assert_eq!(s.payload().len(), 4);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            TcpSegment::new_checked(&[0u8; 19][..]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+
+    #[test]
+    fn bad_data_offset_rejected() {
+        let mut v = segment();
+        v[12] = 3 << 4; // below minimum
+        assert_eq!(TcpSegment::new_checked(&v[..]).unwrap_err(), Error::Malformed);
+        let mut v = segment();
+        v[12] = 15 << 4; // beyond buffer
+        assert_eq!(TcpSegment::new_checked(&v[..]).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn options_shift_payload() {
+        let mut v = vec![0u8; 28];
+        {
+            let mut s = TcpSegment::new_unchecked(&mut v[..]);
+            s.set_src_port(1);
+            s.set_dst_port(2);
+        }
+        v[12] = 6 << 4; // 24-byte header, 4 bytes of options
+        let s = TcpSegment::new_checked(&v[..]).unwrap();
+        assert_eq!(s.header_len(), 24);
+        assert_eq!(s.payload().len(), 4);
+    }
+}

@@ -1,0 +1,190 @@
+//! Fast-path / slow-path classification (§6.2.1).
+//!
+//! In the pre-shading step a worker thread inspects each received
+//! packet and diverts anything the GPU fast path cannot handle —
+//! malformed frames, expired TTLs, bad checksums, packets destined to
+//! the router itself — to the host stack (slow path) or the bit
+//! bucket.
+
+use std::net::Ipv4Addr;
+
+use crate::ethernet::{EtherType, EthernetFrame};
+use crate::ipv4::Ipv4Packet;
+use crate::ipv6::Ipv6Packet;
+
+/// Classification outcome for a received frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Eligible for GPU-accelerated forwarding.
+    FastPath,
+    /// Hand to the host TCP/IP stack (local delivery, options, ...).
+    SlowPath(SlowPathReason),
+    /// Drop immediately.
+    Drop(DropReason),
+}
+
+/// Why a packet leaves the fast path but stays alive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlowPathReason {
+    /// Destined to one of the router's own addresses.
+    Local,
+    /// Carries IP options the fast path does not parse.
+    Options,
+    /// Not an IP protocol we forward (ARP etc.).
+    NonIp,
+}
+
+/// Why a packet is dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Could not be parsed.
+    Malformed,
+    /// IPv4 TTL (or IPv6 hop limit) is 0 or 1 — would expire here.
+    TtlExpired,
+    /// The IPv4 header checksum does not verify (the paper's NICs
+    /// mark this in the descriptor; our NIC model does the same).
+    BadChecksum,
+}
+
+/// Classify a frame for the IPv4/IPv6 forwarding fast path.
+///
+/// `local` is the router's own address set (the slow-path "destined to
+/// local" test).
+pub fn classify(frame: &[u8], local: &[Ipv4Addr]) -> Verdict {
+    let eth = match EthernetFrame::new_checked(frame) {
+        Ok(e) => e,
+        Err(_) => return Verdict::Drop(DropReason::Malformed),
+    };
+    match eth.ethertype() {
+        EtherType::Ipv4 => classify_v4(eth.payload(), local),
+        EtherType::Ipv6 => classify_v6(eth.payload()),
+        _ => Verdict::SlowPath(SlowPathReason::NonIp),
+    }
+}
+
+fn classify_v4(payload: &[u8], local: &[Ipv4Addr]) -> Verdict {
+    let ip = match Ipv4Packet::new_checked(payload) {
+        Ok(p) => p,
+        Err(_) => return Verdict::Drop(DropReason::Malformed),
+    };
+    if !ip.verify_checksum() {
+        return Verdict::Drop(DropReason::BadChecksum);
+    }
+    if ip.ttl() <= 1 {
+        return Verdict::Drop(DropReason::TtlExpired);
+    }
+    if ip.has_options() {
+        return Verdict::SlowPath(SlowPathReason::Options);
+    }
+    if local.contains(&ip.dst()) {
+        return Verdict::SlowPath(SlowPathReason::Local);
+    }
+    Verdict::FastPath
+}
+
+fn classify_v6(payload: &[u8]) -> Verdict {
+    let ip = match Ipv6Packet::new_checked(payload) {
+        Ok(p) => p,
+        Err(_) => return Verdict::Drop(DropReason::Malformed),
+    };
+    if ip.hop_limit() <= 1 {
+        return Verdict::Drop(DropReason::TtlExpired);
+    }
+    Verdict::FastPath
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PacketBuilder;
+    use crate::ethernet::MacAddr;
+
+    fn frame() -> Vec<u8> {
+        PacketBuilder::udp_v4(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(8, 8, 8, 8),
+            100,
+            200,
+            64,
+        )
+    }
+
+    #[test]
+    fn healthy_packet_takes_fast_path() {
+        assert_eq!(classify(&frame(), &[]), Verdict::FastPath);
+    }
+
+    #[test]
+    fn local_destination_goes_slow_path() {
+        assert_eq!(
+            classify(&frame(), &[Ipv4Addr::new(8, 8, 8, 8)]),
+            Verdict::SlowPath(SlowPathReason::Local)
+        );
+    }
+
+    #[test]
+    fn expired_ttl_dropped() {
+        let mut f = frame();
+        {
+            let mut ip = Ipv4Packet::new_unchecked(&mut f[14..]);
+            ip.set_ttl(1);
+            ip.fill_checksum();
+        }
+        assert_eq!(classify(&f, &[]), Verdict::Drop(DropReason::TtlExpired));
+    }
+
+    #[test]
+    fn corrupted_checksum_dropped() {
+        let mut f = frame();
+        f[14 + 12] ^= 0xFF; // flip a source-address byte
+        assert_eq!(classify(&f, &[]), Verdict::Drop(DropReason::BadChecksum));
+    }
+
+    #[test]
+    fn truncated_frame_dropped() {
+        assert_eq!(
+            classify(&frame()[..20], &[]),
+            Verdict::Drop(DropReason::Malformed)
+        );
+    }
+
+    #[test]
+    fn options_go_slow_path() {
+        let mut f = frame();
+        f[14] = 0x46; // IHL = 6
+        {
+            let mut ip = Ipv4Packet::new_unchecked(&mut f[14..]);
+            ip.fill_checksum();
+        }
+        assert_eq!(classify(&f, &[]), Verdict::SlowPath(SlowPathReason::Options));
+    }
+
+    #[test]
+    fn arp_goes_slow_path() {
+        let mut f = frame();
+        f[12..14].copy_from_slice(&0x0806u16.to_be_bytes());
+        assert_eq!(classify(&f, &[]), Verdict::SlowPath(SlowPathReason::NonIp));
+    }
+
+    #[test]
+    fn ipv6_fast_path_and_hop_limit() {
+        let f = PacketBuilder::udp_v6(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+            1,
+            2,
+            80,
+        );
+        assert_eq!(classify(&f, &[]), Verdict::FastPath);
+        let mut f2 = f.clone();
+        {
+            let mut ip = Ipv6Packet::new_unchecked(&mut f2[14..]);
+            ip.set_hop_limit(1);
+        }
+        assert_eq!(classify(&f2, &[]), Verdict::Drop(DropReason::TtlExpired));
+    }
+}

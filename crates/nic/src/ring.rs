@@ -1,0 +1,155 @@
+//! Descriptor rings: fixed-capacity FIFO queues with drop-on-full
+//! semantics, modelling the 82599's per-queue RX/TX rings.
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity ring. `T` is whatever a descriptor points at — in
+/// the simulation, an owned packet record.
+#[derive(Debug)]
+pub struct Ring<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    /// Packets dropped because the ring was full (tail drops).
+    pub drops: u64,
+    /// Total packets ever accepted.
+    pub accepted: u64,
+}
+
+impl<T> Ring<T> {
+    /// A ring holding up to `capacity` descriptors.
+    pub fn new(capacity: usize) -> Ring<T> {
+        assert!(capacity > 0);
+        Ring {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            drops: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Occupied descriptors.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when no descriptor is free.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Free descriptors.
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Enqueue; on a full ring the item is dropped (tail drop) and
+    /// `Err` returns it to the caller.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            self.drops += 1;
+            return Err(item);
+        }
+        self.accepted += 1;
+        self.items.push_back(item);
+        Ok(())
+    }
+
+    /// Dequeue one.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Dequeue up to `max` items — the batched fetch at the heart of
+    /// the I/O engine (§4.3: "the chunk size is not fixed but only
+    /// capped").
+    pub fn pop_batch(&mut self, max: usize) -> Vec<T> {
+        let n = max.min(self.items.len());
+        self.items.drain(..n).collect()
+    }
+
+    /// Peek at the head without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut r = Ring::new(4);
+        for i in 0..4 {
+            r.push(i).unwrap();
+        }
+        assert_eq!(r.pop(), Some(0));
+        assert_eq!(r.pop(), Some(1));
+    }
+
+    #[test]
+    fn tail_drop_when_full() {
+        let mut r = Ring::new(2);
+        r.push('a').unwrap();
+        r.push('b').unwrap();
+        assert_eq!(r.push('c'), Err('c'));
+        assert_eq!(r.drops, 1);
+        assert_eq!(r.accepted, 2);
+        assert!(r.is_full());
+    }
+
+    #[test]
+    fn batch_pop_caps_at_available() {
+        let mut r = Ring::new(64);
+        for i in 0..10 {
+            r.push(i).unwrap();
+        }
+        let batch = r.pop_batch(64);
+        assert_eq!(batch, (0..10).collect::<Vec<_>>());
+        assert!(r.is_empty());
+        assert!(r.pop_batch(4).is_empty());
+    }
+
+    #[test]
+    fn batch_pop_respects_max() {
+        let mut r = Ring::new(64);
+        for i in 0..10 {
+            r.push(i).unwrap();
+        }
+        assert_eq!(r.pop_batch(4), vec![0, 1, 2, 3]);
+        assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn free_slots_track_occupancy() {
+        let mut r: Ring<u8> = Ring::new(8);
+        assert_eq!(r.free(), 8);
+        r.push(1).unwrap();
+        assert_eq!(r.free(), 7);
+        r.pop();
+        assert_eq!(r.free(), 8);
+    }
+
+    #[test]
+    fn wrap_around_many_times() {
+        // Rings recycle descriptors indefinitely (huge-buffer cells
+        // are reused "whenever the circular RX queues wrap up", §4.2).
+        let mut r = Ring::new(3);
+        for i in 0..1000 {
+            r.push(i).unwrap();
+            assert_eq!(r.pop(), Some(i));
+        }
+        assert_eq!(r.accepted, 1000);
+        assert_eq!(r.drops, 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! The combined OpenFlow switch lookup: exact entries take precedence
+//! over wildcard entries; misses punt to the controller (§6.2.3).
+
+use ps_net::FlowKey;
+
+use crate::action::Action;
+use crate::exact::{flow_hash, ExactTable};
+use crate::wildcard::{WildcardEntry, WildcardTable};
+
+/// Outcome of a switch lookup, with the costs the timing model needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupResult {
+    /// The action to apply (Controller on total miss).
+    pub action: Action,
+    /// Whether the exact table hit.
+    pub exact_hit: bool,
+    /// Wildcard entries scanned (0 when the exact table hit).
+    pub wildcard_scanned: usize,
+}
+
+/// The switch: both tables plus miss accounting.
+#[derive(Debug, Default)]
+pub struct OpenFlowSwitch {
+    /// Exact-match table.
+    pub exact: ExactTable,
+    /// Wildcard table.
+    pub wildcard: WildcardTable,
+    /// Packets punted to the controller.
+    pub misses: u64,
+}
+
+impl OpenFlowSwitch {
+    /// An empty switch.
+    pub fn new() -> OpenFlowSwitch {
+        OpenFlowSwitch::default()
+    }
+
+    /// Install an exact-match flow.
+    pub fn add_exact(&mut self, key: FlowKey, action: Action) {
+        self.exact.insert(key, action);
+    }
+
+    /// Install a wildcard flow.
+    pub fn add_wildcard(&mut self, entry: WildcardEntry) {
+        self.wildcard.insert(entry);
+    }
+
+    /// Full lookup for a packet of `bytes` length.
+    pub fn lookup(&mut self, key: &FlowKey, bytes: u64) -> LookupResult {
+        self.lookup_with_hash(flow_hash(key), key, bytes)
+    }
+
+    /// Lookup when the flow-key hash was computed elsewhere (the
+    /// GPU-assisted path).
+    pub fn lookup_with_hash(&mut self, hash: u32, key: &FlowKey, bytes: u64) -> LookupResult {
+        if let Some(action) = self.exact.lookup_with_hash(hash, key, bytes) {
+            return LookupResult {
+                action,
+                exact_hit: true,
+                wildcard_scanned: 0,
+            };
+        }
+        let (action, scanned) = self.wildcard.lookup(key);
+        match action {
+            Some(action) => LookupResult {
+                action,
+                exact_hit: false,
+                wildcard_scanned: scanned,
+            },
+            None => {
+                self.misses += 1;
+                LookupResult {
+                    action: Action::Controller,
+                    exact_hit: false,
+                    wildcard_scanned: scanned,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wildcard::wc;
+
+    fn key(n: u16) -> FlowKey {
+        FlowKey {
+            in_port: 1,
+            dl_type: 0x0800,
+            nw_src: 0x0A000000 | u32::from(n),
+            nw_dst: 0x0B000000,
+            nw_proto: 17,
+            tp_src: n,
+            tp_dst: 53,
+            ..FlowKey::default()
+        }
+    }
+
+    fn wild(priority: u16, action: Action) -> WildcardEntry {
+        WildcardEntry {
+            fields: wc::NW_DST,
+            priority,
+            key: key(0),
+            nw_src_mask: u32::MAX,
+            nw_dst_mask: 0xFF000000,
+            action,
+        }
+    }
+
+    #[test]
+    fn exact_takes_precedence() {
+        let mut sw = OpenFlowSwitch::new();
+        sw.add_wildcard(wild(100, Action::Drop));
+        sw.add_exact(key(1), Action::Output(5));
+        let r = sw.lookup(&key(1), 64);
+        assert!(r.exact_hit);
+        assert_eq!(r.action, Action::Output(5));
+        assert_eq!(r.wildcard_scanned, 0);
+    }
+
+    #[test]
+    fn wildcard_fallback() {
+        let mut sw = OpenFlowSwitch::new();
+        sw.add_wildcard(wild(100, Action::Output(2)));
+        let r = sw.lookup(&key(9), 64);
+        assert!(!r.exact_hit);
+        assert_eq!(r.action, Action::Output(2));
+        assert_eq!(r.wildcard_scanned, 1);
+        assert_eq!(sw.misses, 0);
+    }
+
+    #[test]
+    fn total_miss_goes_to_controller() {
+        let mut sw = OpenFlowSwitch::new();
+        let mut k = key(9);
+        k.nw_dst = 0x0C000000; // outside the wildcard's /8
+        sw.add_wildcard(wild(100, Action::Output(2)));
+        let r = sw.lookup(&k, 64);
+        assert_eq!(r.action, Action::Controller);
+        assert_eq!(sw.misses, 1);
+    }
+
+    #[test]
+    fn empty_switch_misses_everything() {
+        let mut sw = OpenFlowSwitch::new();
+        let r = sw.lookup(&key(0), 64);
+        assert_eq!(r.action, Action::Controller);
+        assert_eq!(r.wildcard_scanned, 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Fault injection (the smoltcp examples' `--drop-chance` /
+//! `--corrupt-chance` idiom): a stage between the generator and the
+//! router that randomly drops or corrupts frames, exercising the
+//! router's checksum verification and slow-path classification.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ps_io::Packet;
+
+/// Fault-injection configuration (probabilities in [0, 1]).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Probability a packet is silently dropped.
+    pub drop_chance: f64,
+    /// Probability one random octet is flipped.
+    pub corrupt_chance: f64,
+    /// Drop frames longer than this (None = no limit).
+    pub size_limit: Option<usize>,
+}
+
+impl FaultConfig {
+    /// No faults.
+    pub fn none() -> FaultConfig {
+        FaultConfig {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            size_limit: None,
+        }
+    }
+}
+
+/// The injector: deterministic per seed.
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    rng: SmallRng,
+    /// Packets dropped by the injector.
+    pub dropped: u64,
+    /// Packets corrupted by the injector.
+    pub corrupted: u64,
+}
+
+impl FaultInjector {
+    /// An injector with the given config and seed.
+    pub fn new(cfg: FaultConfig, seed: u64) -> FaultInjector {
+        assert!((0.0..=1.0).contains(&cfg.drop_chance));
+        assert!((0.0..=1.0).contains(&cfg.corrupt_chance));
+        FaultInjector {
+            cfg,
+            rng: SmallRng::seed_from_u64(seed),
+            dropped: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// Apply faults; `None` means the packet was dropped in flight.
+    pub fn apply(&mut self, mut p: Packet) -> Option<Packet> {
+        if let Some(limit) = self.cfg.size_limit {
+            if p.len() > limit {
+                self.dropped += 1;
+                return None;
+            }
+        }
+        if self.cfg.drop_chance > 0.0 && self.rng.gen_bool(self.cfg.drop_chance) {
+            self.dropped += 1;
+            return None;
+        }
+        if self.cfg.corrupt_chance > 0.0 && self.rng.gen_bool(self.cfg.corrupt_chance) {
+            let idx = self.rng.gen_range(0..p.data.len());
+            let bit = 1u8 << self.rng.gen_range(0..8);
+            p.data[idx] ^= bit;
+            self.corrupted += 1;
+        }
+        Some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_nic::port::PortId;
+
+    fn packet(len: usize) -> Packet {
+        Packet::new(0, vec![0xAB; len], PortId(0), 0)
+    }
+
+    #[test]
+    fn no_faults_passes_everything_unchanged() {
+        let mut inj = FaultInjector::new(FaultConfig::none(), 1);
+        for _ in 0..100 {
+            let p = inj.apply(packet(64)).expect("no drops configured");
+            assert_eq!(p.data, vec![0xAB; 64]);
+        }
+        assert_eq!(inj.dropped + inj.corrupted, 0);
+    }
+
+    #[test]
+    fn drop_chance_is_roughly_honored() {
+        let mut inj = FaultInjector::new(
+            FaultConfig {
+                drop_chance: 0.15,
+                corrupt_chance: 0.0,
+                size_limit: None,
+            },
+            2,
+        );
+        let survived = (0..10_000).filter(|_| inj.apply(packet(64)).is_some()).count();
+        assert!((8_200..8_800).contains(&survived), "survived {survived}");
+        assert_eq!(inj.dropped, 10_000 - survived as u64);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut inj = FaultInjector::new(
+            FaultConfig {
+                drop_chance: 0.0,
+                corrupt_chance: 1.0,
+                size_limit: None,
+            },
+            3,
+        );
+        let p = inj.apply(packet(64)).expect("not dropped");
+        let diff: u32 = p
+            .data
+            .iter()
+            .map(|b| (b ^ 0xAB).count_ones())
+            .sum();
+        assert_eq!(diff, 1, "exactly one flipped bit");
+        assert_eq!(inj.corrupted, 1);
+    }
+
+    #[test]
+    fn size_limit_drops_jumbo_frames() {
+        let mut inj = FaultInjector::new(
+            FaultConfig {
+                drop_chance: 0.0,
+                corrupt_chance: 0.0,
+                size_limit: Some(128),
+            },
+            4,
+        );
+        assert!(inj.apply(packet(64)).is_some());
+        assert!(inj.apply(packet(256)).is_none());
+        assert_eq!(inj.dropped, 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut inj = FaultInjector::new(
+                FaultConfig {
+                    drop_chance: 0.3,
+                    corrupt_chance: 0.3,
+                    size_limit: None,
+                },
+                seed,
+            );
+            (0..100)
+                .map(|_| inj.apply(packet(64)).map(|p| p.data))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

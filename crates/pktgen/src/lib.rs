@@ -1,0 +1,369 @@
+//! # ps-pktgen — the traffic generator and sink (§6.1)
+//!
+//! Plays the role of the paper's packet generator: an open-loop
+//! source producing fixed-size frames with uniformly random
+//! destination IP addresses and UDP ports ("so that IP forwarding and
+//! OpenFlow look up a different entry for every packet"), attached to
+//! all eight 10 GbE ports, plus a sink that accounts throughput, loss
+//! and round-trip latency from embedded timestamps.
+
+pub mod fault;
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ps_io::Packet;
+use ps_net::ethernet::MacAddr;
+use ps_net::PacketBuilder;
+use ps_nic::port::PortId;
+use ps_sim::stats::{Histogram, PacketCounter, ETHERNET_OVERHEAD_BYTES};
+use ps_sim::time::Time;
+
+/// What kind of frames to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficKind {
+    /// UDP over IPv4 with random destination address + ports.
+    Ipv4Udp,
+    /// UDP over IPv6 with random destination address + ports.
+    Ipv6Udp,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficSpec {
+    /// Frame kind.
+    pub kind: TrafficKind,
+    /// Frame length in bytes (without FCS), e.g. 64.
+    pub frame_len: usize,
+    /// Aggregate offered load in bits/s, measured with the paper's
+    /// 24 B-overhead wire metric across all ports.
+    pub offered_bits: u64,
+    /// Ports the generator feeds, round-robin.
+    pub ports: u16,
+    /// RNG seed.
+    pub seed: u64,
+    /// Restrict traffic to a fixed flow population (`None` = every
+    /// packet is a fresh random flow, the paper's default). With
+    /// `Some(k)`, flow `seq % k` always carries the same addresses and
+    /// ports — the workload OpenFlow exact-match tables need.
+    pub flows: Option<u32>,
+}
+
+impl TrafficSpec {
+    /// 64 B IPv4 frames at `gbps` across 8 ports — the workhorse
+    /// workload of the evaluation.
+    pub fn ipv4_64b(gbps: f64, seed: u64) -> TrafficSpec {
+        TrafficSpec {
+            kind: TrafficKind::Ipv4Udp,
+            frame_len: 64,
+            offered_bits: (gbps * 1e9) as u64,
+            ports: 8,
+            seed,
+            flows: None,
+        }
+    }
+}
+
+/// The open-loop packet source.
+///
+/// Inter-arrival spacing is deterministic (`wire_bits /
+/// offered_bits`), matching a hardware generator's paced output;
+/// arrivals rotate over the ports.
+pub struct Generator {
+    spec: TrafficSpec,
+    rng: SmallRng,
+    interval_num: u64,
+    /// Fixed-point remainder accumulation for exact pacing.
+    acc: u64,
+    next_time: Time,
+    seq: u64,
+}
+
+impl Generator {
+    /// A generator for `spec`.
+    pub fn new(spec: TrafficSpec) -> Generator {
+        assert!(spec.offered_bits > 0);
+        assert!(spec.ports > 0);
+        let wire_bits = (ps_net::wire_len(spec.frame_len) * 8) as u64;
+        // ns per packet = wire_bits * 1e9 / offered_bits, kept as a
+        // rational to avoid drift.
+        Generator {
+            spec,
+            rng: SmallRng::seed_from_u64(spec.seed),
+            interval_num: wire_bits * 1_000_000_000,
+            acc: 0,
+            next_time: 0,
+            seq: 0,
+        }
+    }
+
+    /// The spec this generator runs.
+    pub fn spec(&self) -> &TrafficSpec {
+        &self.spec
+    }
+
+    /// Arrival time of the next packet (the open-loop schedule is
+    /// deterministic, so this is exact).
+    pub fn next_time(&self) -> Time {
+        self.next_time
+    }
+
+    /// Produce the next packet and its arrival time.
+    pub fn next_packet(&mut self) -> (Time, Packet) {
+        let t = self.next_time;
+        self.acc += self.interval_num;
+        let step = self.acc / self.spec.offered_bits;
+        self.acc %= self.spec.offered_bits;
+        self.next_time += step;
+
+        let port = PortId((self.seq % u64::from(self.spec.ports)) as u16);
+        let data = self.build_frame();
+        let mut p = Packet::new(self.seq, data, port, t);
+        p.arrival = t;
+        self.seq += 1;
+        (t, p)
+    }
+
+    /// All packets arriving in `[0, until)`.
+    pub fn packets_until(&mut self, until: Time) -> Vec<(Time, Packet)> {
+        let mut out = Vec::new();
+        while self.next_time < until {
+            out.push(self.next_packet());
+        }
+        out
+    }
+
+    /// Deterministic tuple for flow `id` (also used by benches to
+    /// install matching exact-match entries).
+    pub fn flow_tuple(spec: &TrafficSpec, id: u32) -> (u32, u32, u16, u16) {
+        let mut r = SmallRng::seed_from_u64(spec.seed ^ (u64::from(id) << 20) ^ 0xF10F);
+        (
+            r.gen::<u32>() | 0x0100_0000,
+            r.gen::<u32>(),
+            r.gen_range(1024..65000),
+            r.gen_range(1..65000),
+        )
+    }
+
+    fn build_frame(&mut self) -> Vec<u8> {
+        let src_mac = MacAddr::local(1);
+        let dst_mac = MacAddr::local(2);
+        if let Some(k) = self.spec.flows {
+            let id = (self.seq % u64::from(k)) as u32;
+            let (src, dst, sport, dport) = Self::flow_tuple(&self.spec, id);
+            return match self.spec.kind {
+                TrafficKind::Ipv4Udp => PacketBuilder::udp_v4(
+                    src_mac,
+                    dst_mac,
+                    Ipv4Addr::from(src),
+                    Ipv4Addr::from(dst),
+                    sport,
+                    dport,
+                    self.spec.frame_len,
+                ),
+                TrafficKind::Ipv6Udp => PacketBuilder::udp_v6(
+                    src_mac,
+                    dst_mac,
+                    Ipv6Addr::from((u128::from(src) << 64) | (0b001u128 << 125)),
+                    Ipv6Addr::from((u128::from(dst) << 32) | (0b001u128 << 125)),
+                    sport,
+                    dport,
+                    self.spec.frame_len,
+                ),
+            };
+        }
+        let sport: u16 = self.rng.gen_range(1024..65000);
+        let dport: u16 = self.rng.gen_range(1..65000);
+        match self.spec.kind {
+            TrafficKind::Ipv4Udp => {
+                let src = Ipv4Addr::from(self.rng.gen::<u32>() | 0x0100_0000);
+                let dst = Ipv4Addr::from(self.rng.gen::<u32>());
+                PacketBuilder::udp_v4(src_mac, dst_mac, src, dst, sport, dport, self.spec.frame_len)
+            }
+            TrafficKind::Ipv6Udp => {
+                fn gua(hi: u64, lo: u64) -> Ipv6Addr {
+                    Ipv6Addr::from(
+                        ((u128::from(hi) << 64) | u128::from(lo)) >> 3 | (0b001u128 << 125),
+                    )
+                }
+                let src = gua(self.rng.gen(), self.rng.gen());
+                let dst = gua(self.rng.gen(), self.rng.gen());
+                PacketBuilder::udp_v6(src_mac, dst_mac, src, dst, sport, dport, self.spec.frame_len)
+            }
+        }
+    }
+}
+
+/// The measurement sink: the generator timestamps packets, the sink
+/// accounts them on return.
+#[derive(Debug, Default)]
+pub struct Sink {
+    /// Delivered packets/bytes.
+    pub delivered: PacketCounter,
+    /// Round-trip latency histogram (ns).
+    pub latency: Histogram,
+    /// Packets that came back out of order within a flow probe.
+    pub last_id_seen: Option<u64>,
+    /// Count of id inversions observed (order violations across the
+    /// whole stream; cross-flow reordering is legitimate).
+    pub inversions: u64,
+    /// When set to the generator's flow count, the sink additionally
+    /// tracks *per-flow* order (flow id = packet id mod flows), the
+    /// §5.3 FIFO guarantee.
+    pub track_flows: Option<u32>,
+    flow_last: std::collections::HashMap<u64, u64>,
+    /// Per-flow order violations (must stay 0 per §5.3).
+    pub flow_inversions: u64,
+}
+
+impl Sink {
+    /// A fresh sink.
+    pub fn new() -> Sink {
+        Sink::default()
+    }
+
+    /// Account a delivered packet at `now`.
+    pub fn deliver(&mut self, now: Time, p: &Packet) {
+        self.delivered.add(p.len() as u64);
+        self.latency.record(now.saturating_sub(p.gen_ts));
+        if let Some(last) = self.last_id_seen {
+            if p.id < last {
+                self.inversions += 1;
+            }
+        }
+        self.last_id_seen = Some(p.id);
+        if let Some(flows) = self.track_flows {
+            let flow = p.id % u64::from(flows);
+            if let Some(&last) = self.flow_last.get(&flow) {
+                if p.id < last {
+                    self.flow_inversions += 1;
+                }
+            }
+            self.flow_last.insert(flow, p.id);
+        }
+    }
+
+    /// Delivered throughput over `window`, paper metric.
+    pub fn gbps(&self, window: Time) -> f64 {
+        self.delivered.gbps_with_overhead(window, ETHERNET_OVERHEAD_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_sim::{GIGA, MILLIS, SECONDS};
+
+
+    #[test]
+    fn pacing_matches_offered_load() {
+        let mut g = Generator::new(TrafficSpec::ipv4_64b(10.0, 1));
+        let pkts = g.packets_until(MILLIS);
+        // 10 Gbps of 88-wire-byte frames = 14.2 Mpps -> 14,204 per ms.
+        let n = pkts.len() as f64;
+        assert!((14_100.0..14_310.0).contains(&n), "{n} packets per ms");
+    }
+
+    #[test]
+    fn pacing_has_no_drift() {
+        let spec = TrafficSpec {
+            kind: TrafficKind::Ipv4Udp,
+            frame_len: 64,
+            offered_bits: 3 * GIGA, // awkward divisor
+            ports: 8,
+            seed: 2,
+            flows: None,
+        };
+        let mut g = Generator::new(spec);
+        let window = SECONDS / 20;
+        let pkts = g.packets_until(window);
+        let expect = 3e9 / (88.0 * 8.0) / 20.0;
+        let err = (pkts.len() as f64 - expect).abs() / expect;
+        assert!(err < 0.001, "count={} expect={expect}", pkts.len());
+    }
+
+    #[test]
+    fn ports_rotate() {
+        let mut g = Generator::new(TrafficSpec::ipv4_64b(10.0, 3));
+        let pkts = g.packets_until(10_000);
+        let mut seen = std::collections::HashSet::new();
+        for (_, p) in &pkts {
+            seen.insert(p.in_port);
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn frames_are_well_formed() {
+        for kind in [TrafficKind::Ipv4Udp, TrafficKind::Ipv6Udp] {
+            let mut g = Generator::new(TrafficSpec {
+                kind,
+                frame_len: 64,
+                offered_bits: GIGA,
+                ports: 4,
+                seed: 7,
+                flows: None,
+            });
+            for _ in 0..50 {
+                let (_, p) = g.next_packet();
+                assert_eq!(p.len(), 64);
+                assert_eq!(
+                    ps_net::classify(&p.data, &[]),
+                    ps_net::Verdict::FastPath,
+                    "kind {kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Generator::new(TrafficSpec::ipv4_64b(5.0, 11));
+        let mut b = Generator::new(TrafficSpec::ipv4_64b(5.0, 11));
+        for _ in 0..100 {
+            let (ta, pa) = a.next_packet();
+            let (tb, pb) = b.next_packet();
+            assert_eq!(ta, tb);
+            assert_eq!(pa.data, pb.data);
+        }
+    }
+
+    #[test]
+    fn limited_flow_population_repeats_tuples() {
+        let mut spec = TrafficSpec::ipv4_64b(1.0, 9);
+        spec.flows = Some(8);
+        let mut g = Generator::new(spec);
+        let frames: Vec<Vec<u8>> = (0..24).map(|_| g.next_packet().1.data).collect();
+        assert_eq!(frames[0], frames[8]);
+        assert_eq!(frames[3], frames[19]);
+        assert_ne!(frames[0], frames[1]);
+    }
+
+    #[test]
+    fn sink_accounts_latency_and_loss() {
+        let mut g = Generator::new(TrafficSpec::ipv4_64b(1.0, 5));
+        let mut sink = Sink::new();
+        for _ in 0..1000 {
+            let (t, p) = g.next_packet();
+            sink.deliver(t + 100_000, &p); // 100 us RTT
+        }
+        assert_eq!(sink.delivered.packets, 1000);
+        assert_eq!(sink.inversions, 0);
+        let p50 = sink.latency.p50();
+        assert!((90_000..115_000).contains(&p50), "p50={p50}");
+    }
+
+    #[test]
+    fn sink_throughput_metric() {
+        let mut sink = Sink::new();
+        let mut g = Generator::new(TrafficSpec::ipv4_64b(10.0, 5));
+        // Deliver everything generated in 1ms at the same instant.
+        for (t, p) in g.packets_until(MILLIS) {
+            sink.deliver(t, &p);
+        }
+        let gbps = sink.gbps(MILLIS);
+        assert!((9.8..10.2).contains(&gbps), "{gbps} Gbps");
+    }
+}

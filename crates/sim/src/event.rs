@@ -1,0 +1,293 @@
+//! Deterministic event queue and simulation driver.
+//!
+//! Events are ordered by `(time, sequence)`: two events scheduled for
+//! the same instant fire in scheduling order, which makes every run
+//! bit-for-bit reproducible regardless of heap internals.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+use crate::Model;
+
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The event queue plus the virtual clock, handed to
+/// [`Model::handle`] so handlers can schedule follow-up events.
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: Time,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `ev` at absolute time `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is in the past: a model scheduling backwards in
+    /// time is always a bug and would silently corrupt causality.
+    pub fn at(&mut self, t: Time, ev: E) {
+        assert!(
+            t >= self.now,
+            "event scheduled in the past: t={} now={}",
+            t,
+            self.now
+        );
+        self.seq += 1;
+        self.heap.push(Reverse(Entry {
+            time: t,
+            seq: self.seq,
+            ev,
+        }));
+    }
+
+    /// Schedule `ev` after a delay of `d` nanoseconds.
+    pub fn after(&mut self, d: Time, ev: E) {
+        self.at(self.now + d, ev);
+    }
+
+    /// Schedule `ev` to run at the current instant, after all events
+    /// already queued for this instant.
+    pub fn immediately(&mut self, ev: E) {
+        self.at(self.now, ev);
+    }
+
+    fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|Reverse(e)| {
+            debug_assert!(e.time >= self.now);
+            self.now = e.time;
+            (e.time, e.ev)
+        })
+    }
+}
+
+/// Drives a [`Model`] by repeatedly popping the earliest event and
+/// dispatching it.
+pub struct Simulation<M: Model> {
+    /// The model under simulation; public so experiments can inspect
+    /// state and statistics after (or during) a run.
+    pub model: M,
+    sched: Scheduler<M::Event>,
+}
+
+impl<M: Model> Simulation<M> {
+    /// Wrap `model` with an empty event queue at time zero.
+    pub fn new(model: M) -> Self {
+        Simulation {
+            model,
+            sched: Scheduler::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.sched.now()
+    }
+
+    /// Schedule an initial (or external) event.
+    pub fn schedule(&mut self, t: Time, ev: M::Event) {
+        self.sched.at(t, ev);
+    }
+
+    /// Schedule an event after a delay from the current time.
+    pub fn schedule_after(&mut self, d: Time, ev: M::Event) {
+        self.sched.after(d, ev);
+    }
+
+    /// Dispatch a single event. Returns `false` when the queue is dry.
+    pub fn step(&mut self) -> bool {
+        match self.sched.pop() {
+            Some((_, ev)) => {
+                self.model.handle(&mut self.sched, ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the queue is empty or virtual time would exceed
+    /// `deadline`. Events at exactly `deadline` still run. Returns the
+    /// number of events dispatched.
+    pub fn run_until(&mut self, deadline: Time) -> u64 {
+        let mut steps = 0;
+        while let Some(Reverse(head)) = self.sched.heap.peek() {
+            if head.time > deadline {
+                break;
+            }
+            let (_, ev) = self.sched.pop().expect("peeked entry vanished");
+            self.model.handle(&mut self.sched, ev);
+            steps += 1;
+        }
+        // Advance the clock to the deadline so rate computations over
+        // the window [0, deadline] are well defined even if the last
+        // event fired earlier.
+        if self.sched.now < deadline {
+            self.sched.now = deadline;
+        }
+        steps
+    }
+
+    /// Run until the event queue is empty. Returns events dispatched.
+    pub fn run_to_completion(&mut self) -> u64 {
+        let mut steps = 0;
+        while self.step() {
+            steps += 1;
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<(Time, u32)>,
+        chain: bool,
+    }
+
+    impl Model for Recorder {
+        type Event = u32;
+        fn handle(&mut self, sched: &mut Scheduler<u32>, ev: u32) {
+            self.seen.push((sched.now(), ev));
+            if self.chain && ev < 3 {
+                sched.after(10, ev + 1);
+            }
+        }
+    }
+
+    fn recorder(chain: bool) -> Simulation<Recorder> {
+        Simulation::new(Recorder {
+            seen: vec![],
+            chain,
+        })
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = recorder(false);
+        sim.schedule(30, 3);
+        sim.schedule(10, 1);
+        sim.schedule(20, 2);
+        sim.run_to_completion();
+        assert_eq!(sim.model.seen, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut sim = recorder(false);
+        sim.schedule(5, 1);
+        sim.schedule(5, 2);
+        sim.schedule(5, 3);
+        sim.run_to_completion();
+        assert_eq!(sim.model.seen, vec![(5, 1), (5, 2), (5, 3)]);
+    }
+
+    #[test]
+    fn handlers_can_chain_events() {
+        let mut sim = recorder(true);
+        sim.schedule(0, 0);
+        sim.run_to_completion();
+        assert_eq!(sim.model.seen, vec![(0, 0), (10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn run_until_respects_deadline_inclusive() {
+        let mut sim = recorder(false);
+        sim.schedule(10, 1);
+        sim.schedule(20, 2);
+        sim.schedule(21, 3);
+        let n = sim.run_until(20);
+        assert_eq!(n, 2);
+        assert_eq!(sim.model.seen, vec![(10, 1), (20, 2)]);
+        assert_eq!(sim.now(), 20);
+        // Remaining event still fires afterwards.
+        sim.run_to_completion();
+        assert_eq!(sim.model.seen.last(), Some(&(21, 3)));
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let mut sim = recorder(false);
+        sim.schedule(10, 1);
+        sim.run_until(1000);
+        assert_eq!(sim.now(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sched: Scheduler<u32> = Scheduler::new();
+        sched.at(10, 1);
+        sched.pop();
+        sched.at(5, 2);
+    }
+
+    #[test]
+    fn immediately_runs_after_current_instant_events() {
+        struct M {
+            order: Vec<u32>,
+        }
+        impl Model for M {
+            type Event = u32;
+            fn handle(&mut self, sched: &mut Scheduler<u32>, ev: u32) {
+                if ev == 1 {
+                    sched.immediately(9);
+                }
+                self.order.push(ev);
+            }
+        }
+        let mut sim = Simulation::new(M { order: vec![] });
+        sim.schedule(0, 1);
+        sim.schedule(0, 2);
+        sim.run_to_completion();
+        assert_eq!(sim.model.order, vec![1, 2, 9]);
+    }
+}

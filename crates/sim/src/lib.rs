@@ -1,0 +1,42 @@
+//! # ps-sim — discrete-event simulation substrate
+//!
+//! The execution-driven core that every hardware model in the
+//! PacketShader reproduction runs on. It provides:
+//!
+//! * a deterministic event queue over a nanosecond-resolution virtual
+//!   clock ([`Simulation`], [`Scheduler`]),
+//! * FIFO bandwidth servers used to model PCIe directions, IOH
+//!   directions and Ethernet wires ([`resource::BandwidthServer`]),
+//! * statistics primitives: counters, rate meters and log-bucketed
+//!   histograms ([`stats`]),
+//! * a small deterministic RNG ([`rng::SplitMix64`]) so the simulation
+//!   itself has no external dependencies and identical seeds always
+//!   replay identical virtual-time traces.
+//!
+//! The design is intentionally single-threaded: PacketShader's worker
+//! and master *threads* are simulated entities whose concurrency is
+//! expressed in virtual time, which keeps every experiment exactly
+//! reproducible.
+
+pub mod event;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::{Scheduler, Simulation};
+pub use time::{Time, GIGA, KILO, MEGA, MICROS, MILLIS, SECONDS};
+
+/// A simulation model: one big deterministic state machine.
+///
+/// All component interactions are expressed as events of a single
+/// model-defined enum type. This monolithic style avoids shared
+/// mutability webs (`Rc<RefCell<..>>`) and keeps the hot dispatch loop
+/// free of dynamic dispatch.
+pub trait Model {
+    /// The closed set of events this model reacts to.
+    type Event;
+
+    /// Handle one event at the scheduler's current virtual time.
+    fn handle(&mut self, sched: &mut Scheduler<Self::Event>, ev: Self::Event);
+}

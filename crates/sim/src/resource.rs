@@ -1,0 +1,156 @@
+//! Shared-resource models.
+//!
+//! The fabric bottlenecks in the paper — PCIe links, IOH directions,
+//! the 10 GbE wire — are all "serve bytes in FIFO order at a fixed
+//! rate, plus a fixed per-transaction overhead". [`BandwidthServer`]
+//! captures exactly that: callers submit a transaction at the current
+//! virtual time and get back its completion time; queueing delay is
+//! implicit in the server's `next_free` horizon.
+
+use crate::time::{transfer_ns, Time};
+
+/// A FIFO store-and-forward server with a byte rate and a fixed
+/// per-transaction overhead.
+///
+/// Completion of a transaction submitted at `now` is
+/// `max(now, next_free) + overhead + bytes/rate`, and the server is
+/// busy until then. This is the classic M/G/1-style service abstraction
+/// used for every link in the simulated machine.
+#[derive(Debug, Clone)]
+pub struct BandwidthServer {
+    /// Service rate in bits per second.
+    bits_per_sec: u64,
+    /// Fixed cost per transaction (DMA setup, PCIe TLP overheads...).
+    overhead: Time,
+    /// Earliest instant the server can start a new transaction.
+    next_free: Time,
+    /// Total bytes served (for utilization accounting).
+    bytes_served: u64,
+    /// Total busy time accumulated.
+    busy: Time,
+}
+
+impl BandwidthServer {
+    /// A server with `bits_per_sec` capacity and `overhead` ns fixed
+    /// cost per transaction.
+    pub fn new(bits_per_sec: u64, overhead: Time) -> Self {
+        assert!(bits_per_sec > 0, "a link must have positive capacity");
+        BandwidthServer {
+            bits_per_sec,
+            overhead,
+            next_free: 0,
+            bytes_served: 0,
+            busy: 0,
+        }
+    }
+
+    /// The configured rate in bits per second.
+    pub fn bits_per_sec(&self) -> u64 {
+        self.bits_per_sec
+    }
+
+    /// Earliest instant a transaction submitted now would start.
+    pub fn next_free(&self) -> Time {
+        self.next_free
+    }
+
+    /// Submit a transaction of `bytes` at time `now`; returns its
+    /// completion time and occupies the server until then.
+    pub fn submit(&mut self, now: Time, bytes: u64) -> Time {
+        let start = self.next_free.max(now);
+        let service = self.overhead + transfer_ns(bytes, self.bits_per_sec);
+        let done = start + service;
+        self.next_free = done;
+        self.bytes_served += bytes;
+        self.busy += service;
+        done
+    }
+
+    /// Queueing delay a transaction submitted at `now` would incur
+    /// before service starts.
+    pub fn backlog_delay(&self, now: Time) -> Time {
+        self.next_free.saturating_sub(now)
+    }
+
+    /// Whether the server would accept a transaction at `now` without
+    /// queueing more than `limit` ns of delay.
+    pub fn admits_within(&self, now: Time, limit: Time) -> bool {
+        self.backlog_delay(now) <= limit
+    }
+
+    /// Total bytes served so far.
+    pub fn bytes_served(&self) -> u64 {
+        self.bytes_served
+    }
+
+    /// Fraction of `[0, now]` this server spent busy.
+    pub fn utilization(&self, now: Time) -> f64 {
+        if now == 0 {
+            return 0.0;
+        }
+        (self.busy.min(now)) as f64 / now as f64
+    }
+
+    /// Reset accounting (bytes served, busy time) without touching the
+    /// service horizon; used when an experiment discards a warm-up
+    /// window.
+    pub fn reset_accounting(&mut self) {
+        self.bytes_served = 0;
+        self.busy = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{GIGA, MICROS};
+
+    #[test]
+    fn idle_server_serves_immediately() {
+        let mut s = BandwidthServer::new(8 * GIGA, 0);
+        // 1000 bytes at 8 Gbps = 1 us.
+        assert_eq!(s.submit(0, 1000), MICROS);
+    }
+
+    #[test]
+    fn fifo_backlog_accumulates() {
+        let mut s = BandwidthServer::new(8 * GIGA, 0);
+        let t1 = s.submit(0, 1000);
+        let t2 = s.submit(0, 1000);
+        assert_eq!(t1, MICROS);
+        assert_eq!(t2, 2 * MICROS);
+        assert_eq!(s.backlog_delay(0), 2 * MICROS);
+    }
+
+    #[test]
+    fn overhead_is_charged_per_transaction() {
+        let mut s = BandwidthServer::new(8 * GIGA, 500);
+        let t1 = s.submit(0, 1000);
+        assert_eq!(t1, MICROS + 500);
+    }
+
+    #[test]
+    fn idle_gaps_are_not_charged() {
+        let mut s = BandwidthServer::new(8 * GIGA, 0);
+        s.submit(0, 1000);
+        // Submit long after the first completes: starts fresh.
+        let t = s.submit(10 * MICROS, 1000);
+        assert_eq!(t, 11 * MICROS);
+    }
+
+    #[test]
+    fn utilization_tracks_busy_fraction() {
+        let mut s = BandwidthServer::new(8 * GIGA, 0);
+        s.submit(0, 1000); // busy 1 us
+        assert!((s.utilization(2 * MICROS) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn admits_within_limit() {
+        let mut s = BandwidthServer::new(8 * GIGA, 0);
+        s.submit(0, 8000); // busy until 8 us
+        assert!(s.admits_within(0, 8 * MICROS));
+        assert!(!s.admits_within(0, 7 * MICROS));
+        assert!(s.admits_within(8 * MICROS, 0));
+    }
+}

@@ -1,0 +1,129 @@
+//! Minimal deterministic RNG for the simulation core.
+//!
+//! `ps-sim` deliberately has zero dependencies; workload generation in
+//! higher layers uses the `rand` crate, but the simulator itself only
+//! needs a small, fast, seedable generator for things like hash-seed
+//! perturbation and sampling. SplitMix64 (Steele et al., "Fast
+//! splittable pseudorandom number generators") is the standard choice:
+//! one multiply-xor-shift pipeline per output, passes BigCrush.
+
+/// SplitMix64 pseudorandom generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed the generator. Equal seeds produce equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)` using Lemire's multiply-shift
+    /// reduction (bias is negligible for simulation purposes).
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Exponentially distributed value with the given mean; used for
+    /// Poisson arrival processes in the traffic generator.
+    #[inline]
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        let u = loop {
+            let u = self.f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = SplitMix64::new(99);
+        let mut buckets = [0u32; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            buckets[r.below(8) as usize] += 1;
+        }
+        for b in buckets {
+            // Expect 10_000 per bucket; allow 5% deviation.
+            assert!((9_500..10_500).contains(&b), "bucket count {b}");
+        }
+    }
+
+    #[test]
+    fn exp_has_reasonable_mean() {
+        let mut r = SplitMix64::new(5);
+        let mean = 250.0;
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| r.exp(mean)).sum();
+        let observed = sum / n as f64;
+        assert!(
+            (observed - mean).abs() < mean * 0.05,
+            "observed mean {observed}"
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! An ESP tunnel gateway: encrypts traffic on the GPU, then *proves*
+//! the output is real by decrypting a sample of delivered packets
+//! with the peer's security association.
+//!
+//! ```sh
+//! cargo run --release --example ipsec_gateway
+//! ```
+
+use packetshader::core::apps::IpsecApp;
+use packetshader::core::{App, Router, RouterConfig};
+use packetshader::crypto::esp::decrypt_tunnel;
+use packetshader::io::Packet;
+use packetshader::net::ethernet::{EthernetFrame, MacAddr};
+use packetshader::net::ipv4::Ipv4Packet;
+use packetshader::net::PacketBuilder;
+use packetshader::nic::port::PortId;
+use packetshader::pktgen::TrafficSpec;
+use packetshader::sim::MILLIS;
+
+const AES_KEY: [u8; 16] = [0x42; 16];
+const NONCE: u32 = 0xD00D;
+const HMAC_KEY: &[u8] = b"example-gateway-hmac-key";
+
+fn main() {
+    // 1. Functional proof: one packet through the GPU shading path,
+    //    decrypted by the peer.
+    let mut gw = IpsecApp::new(AES_KEY, NONCE, HMAC_KEY);
+    let mut eng = packetshader::gpu::GpuEngine::new(
+        packetshader::gpu::GpuDevice::gtx480_with_mem(64 << 20),
+        packetshader::hw::pcie::PcieModel::new(packetshader::hw::spec::PcieSpec::dual_ioh_x16()),
+    );
+    let mut ioh =
+        packetshader::hw::ioh::Ioh::new(packetshader::hw::spec::IohSpec::intel_5520_dual());
+    gw.setup_gpu(0, &mut eng);
+
+    let plain = PacketBuilder::udp_v4(
+        MacAddr::local(1),
+        MacAddr::local(2),
+        "10.0.0.1".parse().unwrap(),
+        "10.0.0.2".parse().unwrap(),
+        1000,
+        2000,
+        256,
+    );
+    let inner_before = plain[14..].to_vec();
+    let mut pkts = vec![Packet::new(0, plain, PortId(0), 0)];
+    gw.pre_shade(&mut pkts);
+    gw.shade(0, &mut eng, &mut ioh, 0, &mut pkts);
+
+    let eth = EthernetFrame::new_checked(&pkts[0].data[..]).expect("outer frame");
+    let ip = Ipv4Packet::new_checked(eth.payload()).expect("outer IP");
+    let peer = gw.peer_sa();
+    let recovered = decrypt_tunnel(&peer, ip.payload()).expect("ICV verifies, padding intact");
+    assert_eq!(recovered, inner_before);
+    println!(
+        "GPU-encrypted ESP packet verified: {} B inner -> {} B on the wire, \
+         decrypts bit-exactly at the peer",
+        inner_before.len(),
+        pkts[0].data.len()
+    );
+
+    // 2. The gateway under load (Figure 11(d) at one size).
+    let mut cfg = RouterConfig::paper_gpu();
+    cfg.concurrent_copy = true; // §5.4: streams pay off for IPsec
+    let spec = TrafficSpec {
+        frame_len: 512,
+        ..TrafficSpec::ipv4_64b(40.0, 9)
+    };
+    let report = Router::run(cfg, IpsecApp::new(AES_KEY, NONCE, HMAC_KEY), spec, 2 * MILLIS);
+    println!(
+        "under load: {:.1} Gbps of 512 B traffic encrypted (input metric), \
+         {} kernel launches, p50 RTT {} us",
+        report.out_gbps_input_sized(512),
+        report.gpu_kernels,
+        report.latency.p50() / 1000
+    );
+}

@@ -1,0 +1,66 @@
+//! Reproducibility: identical seeds must replay identical virtual-time
+//! results, in both modes — the property every experiment in
+//! EXPERIMENTS.md rests on.
+
+use packetshader::core::apps::{ForwardPattern, Ipv4App, MinimalApp};
+use packetshader::core::{Router, RouterConfig};
+use packetshader::lookup::route::Route4;
+use packetshader::lookup::synth;
+use packetshader::pktgen::TrafficSpec;
+use packetshader::sim::MILLIS;
+
+fn fingerprint(cfg: RouterConfig, seed: u64) -> (u64, u64, u64, u64, u64) {
+    let mut routes = vec![Route4::new(0, 1, 0), Route4::new(0x8000_0000, 1, 4)];
+    routes.extend(synth::routeviews_like(2_000, 8, 3));
+    let report = Router::run(
+        cfg,
+        Ipv4App::new(&routes),
+        TrafficSpec::ipv4_64b(30.0, seed),
+        MILLIS,
+    );
+    (
+        report.offered.packets,
+        report.delivered.packets,
+        report.rx_drops,
+        report.latency.p50(),
+        report.latency.max(),
+    )
+}
+
+#[test]
+fn cpu_mode_is_deterministic() {
+    assert_eq!(
+        fingerprint(RouterConfig::paper_cpu(), 5),
+        fingerprint(RouterConfig::paper_cpu(), 5)
+    );
+}
+
+#[test]
+fn gpu_mode_is_deterministic() {
+    assert_eq!(
+        fingerprint(RouterConfig::paper_gpu(), 5),
+        fingerprint(RouterConfig::paper_gpu(), 5)
+    );
+}
+
+#[test]
+fn different_seeds_differ() {
+    assert_ne!(
+        fingerprint(RouterConfig::paper_cpu(), 5),
+        fingerprint(RouterConfig::paper_cpu(), 6)
+    );
+}
+
+#[test]
+fn minimal_app_deterministic_under_overload() {
+    let run = || {
+        let r = Router::run(
+            RouterConfig::paper_cpu(),
+            MinimalApp::new(ForwardPattern::NodeCrossing, 8),
+            TrafficSpec::ipv4_64b(80.0, 9),
+            MILLIS,
+        );
+        (r.delivered.packets, r.rx_drops)
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,148 @@
+//! Property-based tests on the core invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use packetshader::crypto::esp::{decrypt_tunnel, encrypt_tunnel, SecurityAssociation};
+use packetshader::crypto::hmac::HmacSha1;
+use packetshader::crypto::sha1::Sha1;
+use packetshader::lookup::dir24::Dir24Table;
+use packetshader::lookup::route::{lpm4, lpm6, Route4, Route6};
+use packetshader::lookup::waldvogel::V6Table;
+use packetshader::lookup::NO_ROUTE;
+use packetshader::net::ethernet::MacAddr;
+use packetshader::net::ipv4::Ipv4Packet;
+use packetshader::net::PacketBuilder;
+
+fn route4() -> impl Strategy<Value = Route4> {
+    (any::<u32>(), 0u8..=32, 0u16..8).prop_map(|(p, l, h)| Route4::new(p, l, h))
+}
+
+fn route6() -> impl Strategy<Value = Route6> {
+    (any::<u128>(), 0u8..=128, 0u16..8).prop_map(|(p, l, h)| Route6::new(p, l, h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DIR-24-8 must agree with the naive LPM oracle on any route set
+    /// and any address.
+    #[test]
+    fn dir24_equals_oracle(routes in vec(route4(), 1..60), addrs in vec(any::<u32>(), 1..40)) {
+        let table = Dir24Table::build(&routes);
+        for addr in addrs {
+            let want = lpm4(&routes, addr).unwrap_or(NO_ROUTE);
+            prop_assert_eq!(table.lookup_host(addr), want, "addr {:#010x}", addr);
+        }
+    }
+
+    /// Waldvogel binary search must agree with the naive oracle.
+    #[test]
+    fn waldvogel_equals_oracle(routes in vec(route6(), 1..40), addrs in vec(any::<u128>(), 1..30)) {
+        let table = V6Table::build(&routes);
+        for addr in addrs {
+            let want = lpm6(&routes, addr).unwrap_or(NO_ROUTE);
+            prop_assert_eq!(table.lookup_host(addr), want, "addr {:#034x}", addr);
+        }
+    }
+
+    /// Lookups must also hit route boundaries exactly (first/last
+    /// address of every prefix).
+    #[test]
+    fn dir24_handles_prefix_boundaries(routes in vec(route4(), 1..40)) {
+        let table = Dir24Table::build(&routes);
+        for r in &routes {
+            let lo = r.prefix;
+            let hi = r.prefix | !packetshader::lookup::route::mask4(u32::MAX, r.len);
+            for addr in [lo, hi] {
+                let want = lpm4(&routes, addr).unwrap_or(NO_ROUTE);
+                prop_assert_eq!(table.lookup_host(addr), want);
+            }
+        }
+    }
+
+    /// ESP tunnel round trip for arbitrary payloads and keys.
+    #[test]
+    fn esp_round_trip(
+        inner in vec(any::<u8>(), 20..1500),
+        key in any::<[u8; 16]>(),
+        nonce in any::<u32>(),
+        hkey in vec(any::<u8>(), 1..64),
+    ) {
+        let mut sa = SecurityAssociation::new(1, &key, nonce, &hkey);
+        let wire = encrypt_tunnel(&mut sa, &inner);
+        let back = decrypt_tunnel(&sa, &wire).expect("own SA decrypts");
+        prop_assert_eq!(back, inner);
+    }
+
+    /// Any single corrupted byte must be detected.
+    #[test]
+    fn esp_detects_any_corruption(
+        inner in vec(any::<u8>(), 20..200),
+        idx_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let mut sa = SecurityAssociation::new(1, &[9; 16], 7, b"prop-key");
+        let mut wire = encrypt_tunnel(&mut sa, &inner);
+        let idx = (idx_seed as usize) % wire.len();
+        wire[idx] ^= flip;
+        prop_assert!(decrypt_tunnel(&sa, &wire).is_err());
+    }
+
+    /// HMAC is a function of the full message.
+    #[test]
+    fn hmac_distinguishes_messages(a in vec(any::<u8>(), 0..200), b in vec(any::<u8>(), 0..200)) {
+        let h = HmacSha1::new(b"k");
+        if a != b {
+            prop_assert_ne!(h.mac(&a), h.mac(&b));
+        } else {
+            prop_assert_eq!(h.mac(&a), h.mac(&b));
+        }
+    }
+
+    /// SHA-1 incremental updates equal one-shot hashing at any split.
+    #[test]
+    fn sha1_incremental_consistency(data in vec(any::<u8>(), 0..500), split_seed in any::<u64>()) {
+        let split = if data.is_empty() { 0 } else { (split_seed as usize) % data.len() };
+        let mut s = Sha1::new();
+        s.update(&data[..split]);
+        s.update(&data[split..]);
+        prop_assert_eq!(s.finalize(), Sha1::digest(&data));
+    }
+
+    /// TTL decrement keeps the IPv4 header checksum valid for every
+    /// initial TTL.
+    #[test]
+    fn ttl_decrement_checksum_invariant(ttl in 0u8..=255, dst in any::<u32>()) {
+        let mut f = PacketBuilder::udp_v4(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            "10.0.0.1".parse().unwrap(),
+            std::net::Ipv4Addr::from(dst),
+            1,
+            2,
+            64,
+        );
+        let mut ip = Ipv4Packet::new_unchecked(&mut f[14..]);
+        ip.set_ttl(ttl);
+        ip.fill_checksum();
+        ip.decrement_ttl();
+        prop_assert!(ip.verify_checksum());
+        prop_assert_eq!(ip.ttl(), ttl.saturating_sub(1));
+    }
+
+    /// Generated frames always classify to the fast path.
+    #[test]
+    fn generated_frames_are_fast_path(seed in any::<u64>(), size in 64usize..1514) {
+        let f = PacketBuilder::udp_v4(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            std::net::Ipv4Addr::from((seed >> 32) as u32 | 0x0100_0000),
+            std::net::Ipv4Addr::from(seed as u32),
+            (seed % 60000) as u16,
+            ((seed >> 16) % 60000) as u16,
+            size,
+        );
+        prop_assert_eq!(packetshader::net::classify(&f, &[]), packetshader::net::Verdict::FastPath);
+    }
+}
