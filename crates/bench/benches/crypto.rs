@@ -1,61 +1,58 @@
 //! Wall-clock microbenchmarks of the IPsec crypto substrate.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ps_bench::runner::{black_box, Runner, Throughput};
 use ps_crypto::aes::CtrStream;
 use ps_crypto::esp::{decrypt_tunnel, encrypt_tunnel, SecurityAssociation};
 use ps_crypto::hmac::HmacSha1;
 use ps_crypto::sha1::Sha1;
 
-fn aes_ctr(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::new("crypto");
+
     let ctr = CtrStream::new(&[0x42; 16], 0xD00D);
     let iv = [1, 2, 3, 4, 5, 6, 7, 8];
     for size in [64usize, 1504] {
-        let mut g = c.benchmark_group("aes-ctr");
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("xor_{size}B"), |b| {
-            let mut data = vec![0xA5u8; size];
-            b.iter(|| {
-                ctr.apply(black_box(&iv), &mut data);
-            })
-        });
-        g.finish();
+        let mut data = vec![0xA5u8; size];
+        r.bench(
+            &format!("aes-ctr/xor_{size}B"),
+            Some(Throughput::Bytes(size as u64)),
+            || ctr.apply(black_box(&iv), &mut data),
+        );
     }
-}
 
-fn sha1_hmac(c: &mut Criterion) {
     let data = vec![0x5Au8; 1500];
-    let mut g = c.benchmark_group("sha1");
-    g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("digest_1500B", |b| b.iter(|| Sha1::digest(black_box(&data))));
-    g.finish();
+    r.bench(
+        "sha1/digest_1500B",
+        Some(Throughput::Bytes(data.len() as u64)),
+        || Sha1::digest(black_box(&data)),
+    );
 
     let hmac = HmacSha1::new(b"benchmark-key");
-    let mut g = c.benchmark_group("hmac-sha1");
-    g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("mac96_1500B", |b| b.iter(|| hmac.mac96(black_box(&data))));
-    g.finish();
-}
+    r.bench(
+        "hmac-sha1/mac96_1500B",
+        Some(Throughput::Bytes(data.len() as u64)),
+        || hmac.mac96(black_box(&data)),
+    );
 
-fn esp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("esp");
     for size in [50usize, 1480] {
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("encrypt_tunnel_{size}B"), |b| {
-            let mut sa = SecurityAssociation::new(1, &[7; 16], 2, b"k");
-            let inner = vec![0xC3u8; size];
-            b.iter(|| encrypt_tunnel(&mut sa, black_box(&inner)))
-        });
-        g.bench_function(format!("round_trip_{size}B"), |b| {
-            let mut sa = SecurityAssociation::new(1, &[7; 16], 2, b"k");
-            let inner = vec![0xC3u8; size];
-            b.iter(|| {
-                let wire = encrypt_tunnel(&mut sa, black_box(&inner));
-                decrypt_tunnel(&sa, &wire).expect("decrypts")
-            })
-        });
+        let mut sa = SecurityAssociation::new(1, &[7; 16], 2, b"k");
+        let inner = vec![0xC3u8; size];
+        r.bench(
+            &format!("esp/encrypt_tunnel_{size}B"),
+            Some(Throughput::Bytes(size as u64)),
+            || encrypt_tunnel(&mut sa, black_box(&inner)),
+        );
+        let mut sa2 = SecurityAssociation::new(1, &[7; 16], 2, b"k");
+        let inner2 = vec![0xC3u8; size];
+        r.bench(
+            &format!("esp/round_trip_{size}B"),
+            Some(Throughput::Bytes(size as u64)),
+            || {
+                let wire = encrypt_tunnel(&mut sa2, black_box(&inner2));
+                decrypt_tunnel(&sa2, &wire).expect("decrypts")
+            },
+        );
     }
-    g.finish();
-}
 
-criterion_group!(benches, aes_ctr, sha1_hmac, esp);
-criterion_main!(benches);
+    r.finish();
+}

@@ -1,52 +1,48 @@
 //! Wall-clock microbenchmarks of the forwarding tables: the real data
 //! structures the simulated router executes (not the virtual-time
-//! models). One criterion group per algorithm.
+//! models). One runner group per algorithm.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ps_bench::runner::{black_box, Runner, Throughput};
 use ps_bench::workloads;
 use ps_lookup::dir24::Dir24Table;
 use ps_lookup::synth;
 use ps_lookup::waldvogel::V6Table;
 
-fn dir24(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::new("lookup");
+
     let routes = workloads::ipv4_routes(100_000, 1);
     let table = Dir24Table::build(&routes);
     let addrs = synth::random_v4_addrs(4096, 2);
-    let mut g = c.benchmark_group("dir24");
-    g.throughput(Throughput::Elements(addrs.len() as u64));
-    g.bench_function("lookup_4k_random", |b| {
-        b.iter(|| {
+    r.bench(
+        "dir24/lookup_4k_random",
+        Some(Throughput::Elements(addrs.len() as u64)),
+        || {
             let mut acc = 0u32;
             for &a in &addrs {
                 acc = acc.wrapping_add(u32::from(table.lookup_host(black_box(a))));
             }
             acc
-        })
+        },
+    );
+    r.bench("dir24/build_100k_prefixes", None, || {
+        Dir24Table::build(black_box(&routes))
     });
-    g.finish();
 
-    c.bench_function("dir24/build_100k_prefixes", |b| {
-        b.iter(|| Dir24Table::build(black_box(&routes)))
-    });
-}
-
-fn waldvogel(c: &mut Criterion) {
-    let routes = workloads::ipv6_routes(50_000, 1);
-    let table = V6Table::build(&routes);
-    let addrs = synth::random_v6_addrs(4096, 3);
-    let mut g = c.benchmark_group("waldvogel");
-    g.throughput(Throughput::Elements(addrs.len() as u64));
-    g.bench_function("lookup_4k_random", |b| {
-        b.iter(|| {
+    let routes6 = workloads::ipv6_routes(50_000, 1);
+    let table6 = V6Table::build(&routes6);
+    let addrs6 = synth::random_v6_addrs(4096, 3);
+    r.bench(
+        "waldvogel/lookup_4k_random",
+        Some(Throughput::Elements(addrs6.len() as u64)),
+        || {
             let mut acc = 0u32;
-            for &a in &addrs {
-                acc = acc.wrapping_add(u32::from(table.lookup_host(black_box(a))));
+            for &a in &addrs6 {
+                acc = acc.wrapping_add(u32::from(table6.lookup_host(black_box(a))));
             }
             acc
-        })
-    });
-    g.finish();
-}
+        },
+    );
 
-criterion_group!(benches, dir24, waldvogel);
-criterion_main!(benches);
+    r.finish();
+}

@@ -1,47 +1,42 @@
 //! Wall-clock microbenchmarks of the OpenFlow tables.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ps_bench::runner::{black_box, Runner, Throughput};
 use ps_bench::workloads;
 use ps_openflow::flow_hash;
 use ps_pktgen::TrafficSpec;
 
-fn tables(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::new("openflow");
+
     let mut spec = TrafficSpec::ipv4_64b(1.0, 17);
     spec.flows = Some(1024);
     let keys = workloads::exact_keys(&spec, 1024);
     let mut sw = workloads::openflow_switch(&spec, 1024, 64);
 
-    let mut g = c.benchmark_group("openflow");
-    g.throughput(Throughput::Elements(keys.len() as u64));
-    g.bench_function("flow_hash_1k", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for k in &keys {
-                acc = acc.wrapping_add(flow_hash(black_box(k)));
-            }
-            acc
-        })
+    let tp = Some(Throughput::Elements(keys.len() as u64));
+    r.bench("openflow/flow_hash_1k", tp, || {
+        let mut acc = 0u32;
+        for k in &keys {
+            acc = acc.wrapping_add(flow_hash(black_box(k)));
+        }
+        acc
     });
-    g.bench_function("exact_hit_1k", |b| {
-        b.iter(|| {
-            let mut hits = 0;
-            for k in &keys {
-                if sw.lookup(black_box(k), 64).exact_hit {
-                    hits += 1;
-                }
+    r.bench("openflow/exact_hit_1k", tp, || {
+        let mut hits = 0;
+        for k in &keys {
+            if sw.lookup(black_box(k), 64).exact_hit {
+                hits += 1;
             }
-            hits
-        })
+        }
+        hits
     });
-    g.finish();
 
     // Wildcard scans: a key that misses the exact table.
     let mut miss = keys[0];
     miss.tp_dst ^= 0x5555;
-    c.bench_function("openflow/wildcard_scan_64_entries", |b| {
-        b.iter(|| sw.lookup(black_box(&miss), 64))
+    r.bench("openflow/wildcard_scan_64_entries", None, || {
+        sw.lookup(black_box(&miss), 64)
     });
-}
 
-criterion_group!(benches, tables);
-criterion_main!(benches);
+    r.finish();
+}

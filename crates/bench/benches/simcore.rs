@@ -1,8 +1,9 @@
 //! Wall-clock microbenchmarks of the simulation substrate itself:
 //! event-queue throughput and a short end-to-end router run (how many
-//! virtual packets per host-second the reproduction simulates).
+//! virtual packets per host-second the reproduction simulates), plus
+//! the virtual-clock throughput of that run — both clocks, one report.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ps_bench::runner::{black_box, Runner, Throughput};
 use ps_core::apps::{ForwardPattern, MinimalApp};
 use ps_core::{Router, RouterConfig};
 use ps_pktgen::TrafficSpec;
@@ -22,29 +23,39 @@ impl Model for Pong {
     }
 }
 
-fn event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim-core");
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("dispatch_100k_events", |b| {
-        b.iter(|| {
+fn main() {
+    let mut r = Runner::new("simcore");
+
+    r.bench(
+        "sim-core/dispatch_100k_events",
+        Some(Throughput::Elements(100_000)),
+        || {
             let mut sim = Simulation::new(Pong { left: 100_000 });
             sim.schedule(0, 0);
             black_box(sim.run_to_completion())
-        })
-    });
-    g.finish();
-}
+        },
+    );
 
-fn router_run(c: &mut Criterion) {
-    c.bench_function("router/minimal_forwarding_1ms_20G", |b| {
-        b.iter(|| {
-            let cfg = RouterConfig::paper_cpu();
-            let app = MinimalApp::new(ForwardPattern::SameNode, 8);
-            let r = Router::run(cfg, app, TrafficSpec::ipv4_64b(20.0, 1), MILLIS);
-            black_box(r.delivered.packets)
-        })
+    r.bench("router/minimal_forwarding_1ms_20G", None, || {
+        let cfg = RouterConfig::paper_cpu();
+        let app = MinimalApp::new(ForwardPattern::SameNode, 8);
+        let report = Router::run(cfg, app, TrafficSpec::ipv4_64b(20.0, 1), MILLIS);
+        black_box(report.delivered.packets)
     });
-}
 
-criterion_group!(benches, event_queue, router_run);
-criterion_main!(benches);
+    // The same run on the virtual clock: a deterministic throughput
+    // figure (identical on every host, byte-stable per seed).
+    let report = Router::run(
+        RouterConfig::paper_cpu(),
+        MinimalApp::new(ForwardPattern::SameNode, 8),
+        TrafficSpec::ipv4_64b(20.0, 1),
+        MILLIS,
+    );
+    r.record_virtual(
+        "router/minimal_forwarding_1ms_20G/delivered",
+        report.delivered.packets as f64,
+        "pkts/virtual-ms",
+    );
+
+    r.finish();
+}

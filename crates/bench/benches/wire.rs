@@ -1,7 +1,7 @@
 //! Wall-clock microbenchmarks of the wire-format hot paths: parsing,
 //! classification, RSS hashing, checksum updates.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ps_bench::runner::{black_box, Runner, Throughput};
 use ps_core::router::rss_hash;
 use ps_net::ethernet::MacAddr;
 use ps_net::ipv4::Ipv4Packet;
@@ -19,28 +19,24 @@ fn frame() -> Vec<u8> {
     )
 }
 
-fn parse_paths(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::new("wire");
     let f = frame();
-    let mut g = c.benchmark_group("wire");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("classify_64B", |b| {
-        b.iter(|| classify(black_box(&f), &[]))
-    });
-    g.bench_function("flow_key_extract", |b| {
-        b.iter(|| FlowKey::extract(3, black_box(&f)).expect("valid"))
-    });
-    g.bench_function("rss_toeplitz_hash", |b| b.iter(|| rss_hash(black_box(&f))));
-    g.bench_function("ttl_decrement_incremental_checksum", |b| {
-        let mut f = frame();
-        b.iter(|| {
-            let mut ip = Ipv4Packet::new_unchecked(&mut f[14..]);
-            ip.set_ttl(64);
-            ip.fill_checksum();
-            ip.decrement_ttl()
-        })
-    });
-    g.finish();
-}
+    let tp = Some(Throughput::Elements(1));
 
-criterion_group!(benches, parse_paths);
-criterion_main!(benches);
+    r.bench("wire/classify_64B", tp, || classify(black_box(&f), &[]));
+    r.bench("wire/flow_key_extract", tp, || {
+        FlowKey::extract(3, black_box(&f)).expect("valid")
+    });
+    r.bench("wire/rss_toeplitz_hash", tp, || rss_hash(black_box(&f)));
+
+    let mut g = frame();
+    r.bench("wire/ttl_decrement_incremental_checksum", tp, || {
+        let mut ip = Ipv4Packet::new_unchecked(&mut g[14..]);
+        ip.set_ttl(64);
+        ip.fill_checksum();
+        ip.decrement_ttl()
+    });
+
+    r.finish();
+}

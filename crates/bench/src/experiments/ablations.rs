@@ -78,8 +78,14 @@ pub fn concurrent_copy() -> ((f64, f64), (f64, f64)) {
     };
     let ipsec = (run_ipsec(true), run_ipsec(false));
     let ipv4 = (run_ipv4(true), run_ipv4(false));
-    println!("IPsec 512B: streams ON {:.1} / OFF {:.1} Gbps", ipsec.0, ipsec.1);
-    println!("IPv4   64B: streams ON {:.1} / OFF {:.1} Gbps", ipv4.0, ipv4.1);
+    println!(
+        "IPsec 512B: streams ON {:.1} / OFF {:.1} Gbps",
+        ipsec.0, ipsec.1
+    );
+    println!(
+        "IPv4   64B: streams ON {:.1} / OFF {:.1} Gbps",
+        ipv4.0, ipv4.1
+    );
     (ipsec, ipv4)
 }
 

@@ -1,6 +1,6 @@
 //! Figure 11: the four applications, CPU-only vs CPU+GPU.
 
-use ps_core::apps::{Ipv4App, Ipv6App, IpsecApp};
+use ps_core::apps::{IpsecApp, Ipv4App, Ipv6App};
 use ps_core::{Router, RouterConfig};
 use ps_pktgen::{TrafficKind, TrafficSpec};
 use ps_sim::MILLIS;
@@ -36,7 +36,10 @@ where
     FB: FnMut() -> Box<dyn RunApp>,
 {
     header(title);
-    println!("{:>6} | {:>9} | {:>9} | {:>6}", "size", "CPU-only", "CPU+GPU", "gain");
+    println!(
+        "{:>6} | {:>9} | {:>9} | {:>6}",
+        "size", "CPU-only", "CPU+GPU", "gain"
+    );
     let mut rows = Vec::new();
     for &size in sizes {
         let run = |app: Box<dyn RunApp>, cfg| {
@@ -70,8 +73,7 @@ impl<A: ps_core::App + 'static> RunApp for A {
         Router::run(cfg, *self, spec, window_ms() * MILLIS).out_gbps()
     }
     fn run_input_sized(self: Box<Self>, cfg: RouterConfig, spec: TrafficSpec) -> f64 {
-        Router::run(cfg, *self, spec, window_ms() * MILLIS)
-            .out_gbps_input_sized(spec.frame_len)
+        Router::run(cfg, *self, spec, window_ms() * MILLIS).out_gbps_input_sized(spec.frame_len)
     }
 }
 
@@ -142,10 +144,10 @@ pub fn run_openflow(exact: u32, wildcards: usize) -> (f64, f64) {
     if exact > 0 {
         s.flows = Some(exact);
     }
-    let cpu = Box::new(workloads::openflow_app(&s, exact, wildcards))
-        .run(RouterConfig::paper_cpu(), s);
-    let gpu = Box::new(workloads::openflow_app(&s, exact, wildcards))
-        .run(RouterConfig::paper_gpu(), s);
+    let cpu =
+        Box::new(workloads::openflow_app(&s, exact, wildcards)).run(RouterConfig::paper_cpu(), s);
+    let gpu =
+        Box::new(workloads::openflow_app(&s, exact, wildcards)).run(RouterConfig::paper_gpu(), s);
     (cpu, gpu)
 }
 

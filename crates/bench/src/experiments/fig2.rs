@@ -9,8 +9,8 @@ use ps_hw::ioh::Ioh;
 use ps_hw::pcie::PcieModel;
 use ps_hw::spec::Testbed;
 use ps_lookup::mem::{CountingMem, SliceMem};
-use ps_lookup::waldvogel::{self, V6Table};
 use ps_lookup::synth;
+use ps_lookup::waldvogel::{self, V6Table};
 
 use crate::{header, workloads};
 
@@ -32,8 +32,8 @@ pub fn cpu_socket_rate(table: &V6Table, sample: &[u128]) -> f64 {
         accesses += mem.accesses;
     }
     let per_lookup = accesses as f64 / sample.len() as f64;
-    let ns = per_lookup * TABLE_MISS_NS as f64 / TIGHT_LOOP_OVERLAP
-        + per_lookup * 16.0 / CYCLES_PER_NS;
+    let ns =
+        per_lookup * TABLE_MISS_NS as f64 / TIGHT_LOOP_OVERLAP + per_lookup * 16.0 / CYCLES_PER_NS;
     let cores = Testbed::paper().cpu.cores as f64;
     cores * 1e3 / ns // M lookups/s
 }
@@ -82,7 +82,9 @@ pub fn run_with(prefixes: usize) -> Vec<Fig2Row> {
     println!("CPU (1 socket): {cpu1:.1} M/s   CPU (2 sockets): {cpu2:.1} M/s");
     println!("{:>9} | {:>9} | paper shape", "batch", "GPU M/s");
     let mut rows = Vec::new();
-    for &batch in &[32usize, 64, 128, 256, 320, 640, 1024, 4096, 16384, 65536, 262144] {
+    for &batch in &[
+        32usize, 64, 128, 256, 320, 640, 1024, 4096, 16384, 65536, 262144,
+    ] {
         let gpu = gpu_rate(&table, &addrs, batch);
         let marker = if gpu > cpu2 {
             "> 2 CPUs"

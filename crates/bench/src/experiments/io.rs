@@ -18,7 +18,10 @@ use crate::{header, window_ms};
 pub fn table3_breakdown() -> Vec<(String, f64, u64)> {
     header("Table 3 — CPU cycle breakdown in packet RX (legacy skb path)");
     let l = LinuxBaseline::default();
-    println!("{:<26} {:>7} {:>8}  solution", "functional bin", "%", "cycles");
+    println!(
+        "{:<26} {:>7} {:>8}  solution",
+        "functional bin", "%", "cycles"
+    );
     let mut rows = Vec::new();
     for (i, bin) in TABLE3_BINS.iter().enumerate() {
         println!(
@@ -115,8 +118,8 @@ pub fn rx_only_ceiling(size: usize) -> f64 {
     let per_ioh = pkts as f64 * ps_net::wire_len(size) as f64 * 8.0 / 1e9;
     // CPU ceiling: 8 cores of batched RX.
     let m = CostModel::default();
-    let cyc = m.rx_batch_cycles(64, 64 * size as u64, ps_hw::numa::Placement::NumaAware) as f64
-        / 64.0;
+    let cyc =
+        m.rx_batch_cycles(64, 64 * size as u64, ps_hw::numa::Placement::NumaAware) as f64 / 64.0;
     let cpu_pps = 8.0 * tb.cpu.hz as f64 / cyc;
     let cpu = cpu_pps * ps_net::wire_len(size) as f64 * 8.0 / 1e9;
     // Wire ceiling: 8 ports.
@@ -138,8 +141,8 @@ pub fn tx_only_ceiling(size: usize) -> f64 {
     }
     let per_ioh = pkts as f64 * ps_net::wire_len(size) as f64 * 8.0 / 1e9;
     let m = CostModel::default();
-    let cyc = m.tx_batch_cycles(64, 64 * size as u64, ps_hw::numa::Placement::NumaAware) as f64
-        / 64.0;
+    let cyc =
+        m.tx_batch_cycles(64, 64 * size as u64, ps_hw::numa::Placement::NumaAware) as f64 / 64.0;
     let cpu_pps = 8.0 * tb.cpu.hz as f64 / cyc;
     let cpu = cpu_pps * ps_net::wire_len(size) as f64 * 8.0 / 1e9;
     (2.0 * per_ioh).min(cpu).min(80.0)
@@ -175,7 +178,10 @@ pub fn numa_placement() -> (f64, f64) {
         .out_gbps()
     };
     println!("NUMA-aware : {aware:.1} Gbps");
-    println!("NUMA-blind : {blind:.1} Gbps ({:.0}% of aware)", blind / aware * 100.0);
+    println!(
+        "NUMA-blind : {blind:.1} Gbps ({:.0}% of aware)",
+        blind / aware * 100.0
+    );
     (aware, blind)
 }
 

@@ -1,9 +1,9 @@
 //! Microbenchmark artifacts: Table 2 (testbed), Table 1 (PCIe
 //! transfer rates) and the §2.2 kernel-launch latency.
 
+use ps_gpu::timing;
 use ps_hw::pcie::{CopyDir, PcieModel};
 use ps_hw::spec::{GpuSpec, Testbed};
-use ps_gpu::timing;
 
 use crate::header;
 
@@ -11,7 +11,11 @@ use crate::header;
 pub fn spec_table2() -> Testbed {
     header("Table 2 — simulated testbed (paper: $7,000 server)");
     let t = Testbed::paper();
-    println!("CPU   2 x Xeon X5550  {} cores @ {:.2} GHz", t.total_cores(), t.cpu.hz as f64 / 1e9);
+    println!(
+        "CPU   2 x Xeon X5550  {} cores @ {:.2} GHz",
+        t.total_cores(),
+        t.cpu.hz as f64 / 1e9
+    );
     println!(
         "GPU   2 x GTX480       {} SMs x {} lanes @ {:.1} GHz, {:.1} GB/s",
         t.gpu.sms,

@@ -6,6 +6,7 @@
 //! dispatches to these; integration tests assert the shapes.
 
 pub mod experiments;
+pub mod runner;
 pub mod workloads;
 
 use std::time::Instant;

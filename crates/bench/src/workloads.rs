@@ -1,5 +1,5 @@
-//! Workload builders shared by the harness, the criterion benches and
-//! the integration tests.
+//! Workload builders shared by the harness, the wall-clock benches
+//! and the integration tests.
 
 use ps_core::apps::{Ipv4App, Ipv6App, OpenFlowApp};
 use ps_lookup::route::{Route4, Route6};

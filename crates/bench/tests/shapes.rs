@@ -13,7 +13,10 @@ fn fig5_endpoints_and_speedup() {
     assert!((0.6..1.0).contains(&b1), "batch=1 {b1} (paper 0.78)");
     assert!((9.0..11.5).contains(&b64), "batch=64 {b64} (paper 10.5)");
     let speedup = b64 / b1;
-    assert!((11.0..16.0).contains(&speedup), "speedup {speedup} (paper 13.5)");
+    assert!(
+        (11.0..16.0).contains(&speedup),
+        "speedup {speedup} (paper 13.5)"
+    );
     // Monotone increasing throughput with batch size.
     for w in rows.windows(2) {
         assert!(w[1].1 >= w[0].1 * 0.98, "non-monotone at batch {}", w[1].0);
@@ -37,7 +40,10 @@ fn fig6_orderings() {
 fn numa_blind_costs_forty_percent() {
     let (aware, blind) = ex::io::numa_placement();
     assert!(aware > 38.0, "aware {aware}");
-    assert!(blind < aware * 0.72, "blind {blind} vs aware {aware} (paper <25 vs ~41)");
+    assert!(
+        blind < aware * 0.72,
+        "blind {blind} vs aware {aware} (paper <25 vs ~41)"
+    );
 }
 
 #[test]
@@ -50,7 +56,10 @@ fn fig11a_gpu_wins_at_small_packets_only() {
     assert!((25.0..33.0).contains(&cpu64), "cpu64 {cpu64} (paper ~28)");
     assert!((34.0..46.0).contains(&gpu64), "gpu64 {gpu64} (paper ~39)");
     // 1514 B: both I/O bound near 40 Gbps.
-    assert!((cpu1514 - gpu1514).abs() / cpu1514 < 0.15, "{cpu1514} vs {gpu1514}");
+    assert!(
+        (cpu1514 - gpu1514).abs() / cpu1514 < 0.15,
+        "{cpu1514} vs {gpu1514}"
+    );
 }
 
 #[test]

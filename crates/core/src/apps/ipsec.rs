@@ -185,7 +185,10 @@ impl App for IpsecApp {
                 let ct = &mut region[16..16 + ct_len];
                 ct[..inner.len()].copy_from_slice(inner);
                 let pad_len = ct_len - inner.len() - espfmt::TRAILER_MIN;
-                for (j, b) in ct[inner.len()..inner.len() + pad_len].iter_mut().enumerate() {
+                for (j, b) in ct[inner.len()..inner.len() + pad_len]
+                    .iter_mut()
+                    .enumerate()
+                {
                     *b = (j + 1) as u8;
                 }
                 ct[ct_len - 2] = pad_len as u8;
@@ -253,9 +256,9 @@ impl App for IpsecApp {
 mod tests {
     use super::*;
     use ps_crypto::esp::decrypt_tunnel;
-    use ps_net::ethernet::EthernetFrame;
     use ps_hw::pcie::PcieModel;
     use ps_hw::spec::{IohSpec, PcieSpec};
+    use ps_net::ethernet::EthernetFrame;
     use ps_net::ipv4::Ipv4Packet;
 
     fn packet(id: u64, len: usize) -> Packet {
@@ -303,7 +306,11 @@ mod tests {
         let mut ioh = Ioh::new(IohSpec::intel_5520_dual());
         gpu.setup_gpu(0, &mut eng);
 
-        let mk = || (0..5u64).map(|i| packet(i, 64 + (i as usize) * 37)).collect::<Vec<_>>();
+        let mk = || {
+            (0..5u64)
+                .map(|i| packet(i, 64 + (i as usize) * 37))
+                .collect::<Vec<_>>()
+        };
         let mut a = mk();
         let mut b = mk();
         cpu.pre_shade(&mut a);

@@ -257,12 +257,15 @@ mod tests {
         let gpu_ports: Vec<_> = gpu_pkts.iter().map(|p| p.out_port).collect();
         let cpu_ports: Vec<_> = cpu_pkts.iter().map(|p| p.out_port).collect();
         assert_eq!(gpu_ports, cpu_ports);
-        assert_eq!(gpu_ports, vec![
-            Some(PortId(2)),
-            Some(PortId(1)),
-            Some(PortId(6)),
-            Some(PortId(7)),
-        ]);
+        assert_eq!(
+            gpu_ports,
+            vec![
+                Some(PortId(2)),
+                Some(PortId(1)),
+                Some(PortId(6)),
+                Some(PortId(7)),
+            ]
+        );
     }
 
     #[test]

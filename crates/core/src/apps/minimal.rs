@@ -30,7 +30,7 @@ pub struct MinimalApp {
 impl MinimalApp {
     /// Minimal forwarding over `total_ports` ports.
     pub fn new(pattern: ForwardPattern, total_ports: u16) -> MinimalApp {
-        assert!(total_ports.is_power_of_two() || total_ports % 2 == 0);
+        assert!(total_ports.is_power_of_two() || total_ports.is_multiple_of(2));
         MinimalApp {
             pattern,
             total_ports,

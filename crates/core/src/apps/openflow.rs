@@ -86,8 +86,8 @@ impl App for OpenFlowApp {
         let image = self.switch.wildcard.to_image();
         let wildcard = eng.dev.mem.alloc(image.len().max(ENTRY_SIZE));
         eng.dev.mem.write(&wildcard, 0, &image);
-        let shared_image = (image.len() <= crate::kernels::OF_SHARED_LIMIT)
-            .then(|| std::sync::Arc::new(image));
+        let shared_image =
+            (image.len() <= crate::kernels::OF_SHARED_LIMIT).then(|| std::sync::Arc::new(image));
         let input = eng.dev.mem.alloc(MAX_GATHER * 32);
         let output = eng.dev.mem.alloc(MAX_GATHER * 8);
         self.gpu[node] = Some(NodeGpu {
@@ -139,8 +139,7 @@ impl App for OpenFlowApp {
     ) -> Time {
         let n = pkts.len().min(MAX_GATHER);
         let g = self.gpu[node].as_ref().expect("setup_gpu ran");
-        let (wildcard, n_wildcard, input, output) =
-            (g.wildcard, g.n_wildcard, g.input, g.output);
+        let (wildcard, n_wildcard, input, output) = (g.wildcard, g.n_wildcard, g.input, g.output);
         let shared_image = g.shared_image.clone();
         let mut staged = vec![0u8; n * 32];
         for (i, p) in pkts[..n].iter().enumerate() {
@@ -168,7 +167,11 @@ impl App for OpenFlowApp {
             let hash = u32::from_le_bytes(out[o..o + 4].try_into().expect("fixed"));
             let wild_action = u16::from_le_bytes([out[o + 4], out[o + 5]]);
             let key = FlowKey::extract(p.in_port.0, &p.data).expect("pre-shaded");
-            let action = match self.switch.exact.lookup_with_hash(hash, &key, p.len() as u64) {
+            let action = match self
+                .switch
+                .exact
+                .lookup_with_hash(hash, &key, p.len() as u64)
+            {
                 Some(a) => a,
                 None if wild_action != OF_NO_MATCH => Action::decode(wild_action),
                 None => {
@@ -194,9 +197,9 @@ mod tests {
     use ps_hw::pcie::PcieModel;
     use ps_hw::spec::{IohSpec, PcieSpec};
     use ps_net::ethernet::MacAddr;
-    use ps_openflow::WildcardEntry;
     use ps_net::PacketBuilder;
     use ps_openflow::wildcard::wc;
+    use ps_openflow::WildcardEntry;
     use std::net::Ipv4Addr;
 
     fn packet(dst: Ipv4Addr, dport: u16, in_port: u16) -> Packet {

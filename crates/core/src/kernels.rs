@@ -163,8 +163,7 @@ impl Kernel for OpenFlowKernel {
             Some(image) => {
                 // Shared-memory scan: issue cost only.
                 let mut mem = ps_lookup::mem::SliceMem::new(image);
-                let (a, scanned) =
-                    WildcardTable::lookup_image(&mut mem, 0, self.n_wildcard, &key);
+                let (a, scanned) = WildcardTable::lookup_image(&mut mem, 0, self.n_wildcard, &key);
                 ctx.shared(4 * scanned as u32);
                 (a, scanned)
             }
@@ -250,7 +249,9 @@ impl Kernel for IpsecAesKernel {
         // shared-memory T-tables this is ~4 lookups + 4 xors per round
         // on a real GPU; charge ~20 issue ops per round.
         ctx.shared(10 * 20);
-        let ks = self.aes.encrypt(&ctr_counter_block(self.nonce, &iv, blk + 1));
+        let ks = self
+            .aes
+            .encrypt(&ctr_counter_block(self.nonce, &iv, blk + 1));
         let off = base + 16 + blk as usize * 16; // skip SPI/seq + IV
         let mut data: [u8; 16] = ctx.read(&self.payload, off);
         for (d, k) in data.iter_mut().zip(ks.iter()) {

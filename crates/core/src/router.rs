@@ -436,7 +436,10 @@ impl<A: App> Router<A> {
         // 1. Completed shading output? Post-shade + transmit.
         if let Some(&(ready, _)) = self.workers[w].done_queue.front() {
             if ready <= now {
-                let (_, chunk) = self.workers[w].done_queue.pop_front().expect("front exists");
+                let (_, chunk) = self.workers[w]
+                    .done_queue
+                    .pop_front()
+                    .expect("front exists");
                 self.workers[w].outstanding -= 1;
                 self.finish_chunk(sched, w, chunk, true);
                 return;
@@ -533,11 +536,8 @@ impl<A: App> Router<A> {
             let out = p.out_port.expect("retained");
             let node = self.node_of_port(out);
             // TX DMA: the NIC reads the frame from host memory.
-            let mut dma_done =
-                self.iohs[node].dma(t2, Direction::HostToDevice, dma_bytes(p.len()));
-            if self.cfg.io.placement == Placement::NumaBlind
-                && self.cfg.nodes > 1
-                && p.id % 4 != 0
+            let mut dma_done = self.iohs[node].dma(t2, Direction::HostToDevice, dma_bytes(p.len()));
+            if self.cfg.io.placement == Placement::NumaBlind && self.cfg.nodes > 1 && p.id % 4 != 0
             {
                 // Blind buffers: the NIC's read crosses the remote IOH.
                 let other = (node + 1) % self.cfg.nodes;
@@ -567,7 +567,9 @@ impl<A: App> Router<A> {
         // Gather pending chunks (Figure 10(b)); without gather, take
         // exactly one.
         let take = if self.cfg.gather {
-            self.cfg.max_gather_chunks.min(self.masters[node].input.len())
+            self.cfg
+                .max_gather_chunks
+                .min(self.masters[node].input.len())
         } else {
             1
         };
@@ -584,9 +586,13 @@ impl<A: App> Router<A> {
         let ready = now + self.cycles_ns(MASTER_CYCLES_PER_CHUNK * take as u64);
         self.shade_batches += 1;
         self.shade_packets += all.len() as u64;
-        let done = self
-            .app
-            .shade(node, &mut self.gpus[node], &mut self.iohs[node], ready, &mut all);
+        let done = self.app.shade(
+            node,
+            &mut self.gpus[node],
+            &mut self.iohs[node],
+            ready,
+            &mut all,
+        );
 
         // Scatter results back to per-worker output queues.
         let mut off = 0;
@@ -696,7 +702,11 @@ mod tests {
         let cfg = RouterConfig::paper_cpu();
         let app = MinimalApp::new(ForwardPattern::SameNode, 8);
         let report = Router::run(cfg, app, spec(4.0, 8), 4 * MILLIS);
-        assert!(report.delivery_ratio() > 0.999, "ratio {}", report.delivery_ratio());
+        assert!(
+            report.delivery_ratio() > 0.999,
+            "ratio {}",
+            report.delivery_ratio()
+        );
         assert_eq!(report.rx_drops, 0);
         let out = report.out_gbps();
         assert!((3.8..4.2).contains(&out), "out {out} Gbps");

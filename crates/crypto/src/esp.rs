@@ -86,7 +86,10 @@ pub fn encrypt_tunnel(sa: &mut SecurityAssociation, inner: &[u8]) -> Vec<u8> {
         ct[..inner.len()].copy_from_slice(inner);
         // RFC 4303 monotonic padding then (pad_len, next_header).
         let pad_len = ct_len - inner.len() - esp::TRAILER_MIN;
-        for (i, b) in ct[inner.len()..inner.len() + pad_len].iter_mut().enumerate() {
+        for (i, b) in ct[inner.len()..inner.len() + pad_len]
+            .iter_mut()
+            .enumerate()
+        {
             *b = (i + 1) as u8;
         }
         ct[ct_len - 2] = pad_len as u8;

@@ -6,8 +6,9 @@
 //! ESP tunnel-mode encapsulate/decapsulate transforms.
 //!
 //! Everything is validated against published vectors (FIPS-197,
-//! RFC 3686, FIPS 180-1, RFC 2202) in unit tests, and round-trip
-//! properties are checked with proptest.
+//! SP 800-38A, RFC 3686, FIPS 180-1, RFC 2202) in unit tests and in
+//! the golden KAT suite (`tests/kat.rs`), and round-trip properties
+//! are checked with the in-tree `ps-check` harness.
 //!
 //! The block-level structure mirrors how the paper parallelizes the
 //! GPU kernels: AES-CTR keystream blocks are independent ("we chop

@@ -107,10 +107,23 @@ impl GpuEngine {
         dst: &mut [u8],
     ) -> Time {
         self.dev.mem.read(buf, off, dst);
-        self.copy(submit_at, ready, ioh, CopyDir::DeviceToHost, dst.len() as u64)
+        self.copy(
+            submit_at,
+            ready,
+            ioh,
+            CopyDir::DeviceToHost,
+            dst.len() as u64,
+        )
     }
 
-    fn copy(&mut self, submit_at: Time, ready: Time, ioh: &mut Ioh, dir: CopyDir, bytes: u64) -> Time {
+    fn copy(
+        &mut self,
+        submit_at: Time,
+        ready: Time,
+        ioh: &mut Ioh,
+        dir: CopyDir,
+        bytes: u64,
+    ) -> Time {
         // With streams, uploads and downloads queue on separate DMA
         // engines (Figure 10(c)); without, every operation serializes
         // on the device.
@@ -144,11 +157,16 @@ impl GpuEngine {
     /// than `ready` (normally the copy-in completion). Executes the
     /// kernel functionally against device memory immediately and
     /// returns `(completion_time, stats)`.
-    pub fn launch(&mut self, ready: Time, kernel: &dyn Kernel, threads: u32) -> (Time, LaunchStats) {
+    pub fn launch(
+        &mut self,
+        ready: Time,
+        kernel: &dyn Kernel,
+        threads: u32,
+    ) -> (Time, LaunchStats) {
         let stats = kernel::execute(kernel, &mut self.dev.mem, threads);
         let cost = kernel::cost_of(&stats);
-        let duration =
-            timing::launch_overhead(&self.dev.spec, threads) + timing::kernel_time(&self.dev.spec, &cost);
+        let duration = timing::launch_overhead(&self.dev.spec, threads)
+            + timing::kernel_time(&self.dev.spec, &cost);
         let engine_gate = if self.concurrent_copy {
             self.exec_free
         } else {
@@ -213,7 +231,15 @@ mod tests {
         let (mut e, mut ioh) = engine(false);
         let buf = e.dev.mem.alloc(4096);
         let t1 = e.copy_h2d(0, &mut ioh, &buf, 0, &[7; 4096]);
-        let (t2, _) = e.launch(t1, &Touch { buf, per_thread_bytes: 8, alu: 50 }, 512);
+        let (t2, _) = e.launch(
+            t1,
+            &Touch {
+                buf,
+                per_thread_bytes: 8,
+                alu: 50,
+            },
+            512,
+        );
         let mut out = vec![0u8; 4096];
         let t3 = e.copy_d2h(t1, t2, &mut ioh, &buf, 0, &mut out);
         assert!(t1 < t2 && t2 < t3);
@@ -230,7 +256,15 @@ mod tests {
         let a = e.dev.mem.alloc(4096);
         let b = e.dev.mem.alloc(4096);
         let a_done = e.copy_h2d(0, &mut ioh, &a, 0, &[1; 4096]);
-        let (a_kernel, _) = e.launch(a_done, &Touch { buf: a, per_thread_bytes: 8, alu: 50 }, 512);
+        let (a_kernel, _) = e.launch(
+            a_done,
+            &Touch {
+                buf: a,
+                per_thread_bytes: 8,
+                alu: 50,
+            },
+            512,
+        );
         // Chunk B's copy cannot start before chunk A's kernel is done.
         let b_done = e.copy_h2d(0, &mut ioh, &b, 0, &[2; 4096]);
         assert!(b_done > a_kernel);
@@ -247,7 +281,15 @@ mod tests {
             let b = e.dev.mem.alloc(1 << 20);
             let big = vec![3u8; 1 << 20];
             let a_done = e.copy_h2d(0, &mut ioh, &a, 0, &big);
-            let (a_kernel, _) = e.launch(a_done, &Touch { buf: a, per_thread_bytes: 128, alu: 5000 }, 8192);
+            let (a_kernel, _) = e.launch(
+                a_done,
+                &Touch {
+                    buf: a,
+                    per_thread_bytes: 128,
+                    alu: 5000,
+                },
+                8192,
+            );
             let b_copy = e.copy_h2d(a_done, &mut ioh, &b, 0, &big);
             (a_kernel, b_copy)
         };
@@ -272,12 +314,28 @@ mod tests {
         let buf2 = e_stream.dev.mem.alloc(1024);
         let t_plain = {
             let t = e_plain.copy_h2d(0, &mut ioh1, &buf1, 0, &[0; 1024]);
-            let (t, _) = e_plain.launch(t, &Touch { buf: buf1, per_thread_bytes: 4, alu: 50 }, 256);
+            let (t, _) = e_plain.launch(
+                t,
+                &Touch {
+                    buf: buf1,
+                    per_thread_bytes: 4,
+                    alu: 50,
+                },
+                256,
+            );
             t
         };
         let t_stream = {
             let t = e_stream.copy_h2d(0, &mut ioh2, &buf2, 0, &[0; 1024]);
-            let (t, _) = e_stream.launch(t, &Touch { buf: buf2, per_thread_bytes: 4, alu: 50 }, 256);
+            let (t, _) = e_stream.launch(
+                t,
+                &Touch {
+                    buf: buf2,
+                    per_thread_bytes: 4,
+                    alu: 50,
+                },
+                256,
+            );
             t
         };
         assert!(t_stream > t_plain);
@@ -300,7 +358,15 @@ mod tests {
         let (mut e, mut ioh) = engine(false);
         let buf = e.dev.mem.alloc(4096);
         let t = e.copy_h2d(0, &mut ioh, &buf, 0, &[0; 4096]);
-        e.launch(t, &Touch { buf, per_thread_bytes: 8, alu: 50 }, 512);
+        e.launch(
+            t,
+            &Touch {
+                buf,
+                per_thread_bytes: 8,
+                alu: 50,
+            },
+            512,
+        );
         assert_eq!(e.kernels_launched, 1);
         assert!(e.kernel_busy > 0);
     }

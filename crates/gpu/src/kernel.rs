@@ -312,7 +312,7 @@ mod tests {
             }
             fn thread(&self, tid: u32, ctx: &mut ThreadCtx<'_>) {
                 ctx.alu(100);
-                ctx.branch(tid % 2 == 0); // alternate lanes disagree
+                ctx.branch(tid.is_multiple_of(2)); // alternate lanes disagree
             }
         }
         struct Uniform;

@@ -46,13 +46,15 @@ pub fn kernel_time(spec: &GpuSpec, cost: &KernelCost) -> Time {
 
     // 2. Latency bound: each wave of resident warps pays the chain.
     let warps_per_sm = u64::from(cost.warps).div_ceil(sms);
-    let waves = warps_per_sm.div_ceil(u64::from(spec.max_warps_per_sm)).max(1);
+    let waves = warps_per_sm
+        .div_ceil(u64::from(spec.max_warps_per_sm))
+        .max(1);
     let latency_ns = waves as f64 * cost.max_chain as f64 * spec.mem_latency_ns as f64;
 
     // 3. MLP bound: transactions served at (inflight per SM / latency)
     // per SM.
-    let service_rate = (sms * u64::from(spec.max_mem_inflight_per_sm)) as f64
-        / spec.mem_latency_ns as f64; // transactions per ns
+    let service_rate =
+        (sms * u64::from(spec.max_mem_inflight_per_sm)) as f64 / spec.mem_latency_ns as f64; // transactions per ns
     let mlp_ns = cost.mem_transactions as f64 / service_rate;
 
     // 4. Bandwidth bound.

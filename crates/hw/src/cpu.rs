@@ -176,7 +176,12 @@ mod tests {
     fn alu_only_matches_clock() {
         let m = model();
         // 2660 cycles at 2.66 GHz = 1000 ns.
-        let t = m.op_time(OpProfile::alu(2660), NodeId(0), NodeId(0), MemoryPressure::Light);
+        let t = m.op_time(
+            OpProfile::alu(2660),
+            NodeId(0),
+            NodeId(0),
+            MemoryPressure::Light,
+        );
         assert_eq!(t, 1000);
     }
 
@@ -184,15 +189,30 @@ mod tests {
     fn dependent_chain_overlaps_by_pipeline_factor() {
         let m = model();
         // 7 dependent misses, local: 7*60/2.5 = 168 ns.
-        let t = m.op_time(OpProfile::chase(7, 0), NodeId(0), NodeId(0), MemoryPressure::Light);
+        let t = m.op_time(
+            OpProfile::chase(7, 0),
+            NodeId(0),
+            NodeId(0),
+            MemoryPressure::Light,
+        );
         assert_eq!(t, 168);
     }
 
     #[test]
     fn remote_memory_costs_more() {
         let m = model();
-        let local = m.op_time(OpProfile::chase(7, 0), NodeId(0), NodeId(0), MemoryPressure::Light);
-        let remote = m.op_time(OpProfile::chase(7, 0), NodeId(0), NodeId(1), MemoryPressure::Light);
+        let local = m.op_time(
+            OpProfile::chase(7, 0),
+            NodeId(0),
+            NodeId(0),
+            MemoryPressure::Light,
+        );
+        let remote = m.op_time(
+            OpProfile::chase(7, 0),
+            NodeId(0),
+            NodeId(1),
+            MemoryPressure::Light,
+        );
         let ratio = remote as f64 / local as f64;
         assert!((1.40..=1.50).contains(&ratio), "ratio={ratio}");
     }
@@ -200,7 +220,12 @@ mod tests {
     #[test]
     fn independent_misses_overlap_more_than_dependent() {
         let m = model();
-        let dep = m.op_time(OpProfile::chase(6, 0), NodeId(0), NodeId(0), MemoryPressure::Light);
+        let dep = m.op_time(
+            OpProfile::chase(6, 0),
+            NodeId(0),
+            NodeId(0),
+            MemoryPressure::Light,
+        );
         let indep = m.op_time(
             OpProfile {
                 independent_misses: 6,

@@ -128,9 +128,14 @@ mod tests {
     #[test]
     fn pipelined_copies_amortize_overhead() {
         let m = model();
-        let one_by_one: Time = (0..8).map(|_| m.copy_time(CopyDir::HostToDevice, 4096)).sum();
+        let one_by_one: Time = (0..8)
+            .map(|_| m.copy_time(CopyDir::HostToDevice, 4096))
+            .sum();
         let pipelined = m.pipelined_copies_time(CopyDir::HostToDevice, 8, 4096);
-        assert!(pipelined < one_by_one / 2, "pipelined={pipelined} serial={one_by_one}");
+        assert!(
+            pipelined < one_by_one / 2,
+            "pipelined={pipelined} serial={one_by_one}"
+        );
         assert_eq!(m.pipelined_copies_time(CopyDir::HostToDevice, 0, 4096), 0);
     }
 

@@ -36,12 +36,36 @@ pub struct Bin {
 
 /// The Table 3 bins.
 pub const TABLE3_BINS: &[Bin] = &[
-    Bin { name: "skb initialization", percent: 4.9, solution: Some("compact metadata (§4.2)") },
-    Bin { name: "skb (de)allocation", percent: 8.0, solution: Some("huge packet buffer (§4.2)") },
-    Bin { name: "memory subsystem", percent: 50.2, solution: Some("huge packet buffer (§4.2)") },
-    Bin { name: "NIC device driver", percent: 13.3, solution: Some("batch processing (§4.3)") },
-    Bin { name: "others", percent: 9.8, solution: None },
-    Bin { name: "compulsory cache misses", percent: 13.8, solution: Some("software prefetch (§4.3)") },
+    Bin {
+        name: "skb initialization",
+        percent: 4.9,
+        solution: Some("compact metadata (§4.2)"),
+    },
+    Bin {
+        name: "skb (de)allocation",
+        percent: 8.0,
+        solution: Some("huge packet buffer (§4.2)"),
+    },
+    Bin {
+        name: "memory subsystem",
+        percent: 50.2,
+        solution: Some("huge packet buffer (§4.2)"),
+    },
+    Bin {
+        name: "NIC device driver",
+        percent: 13.3,
+        solution: Some("batch processing (§4.3)"),
+    },
+    Bin {
+        name: "others",
+        percent: 9.8,
+        solution: None,
+    },
+    Bin {
+        name: "compulsory cache misses",
+        percent: 13.8,
+        solution: Some("software prefetch (§4.3)"),
+    },
 ];
 
 impl Default for LinuxBaseline {
@@ -159,10 +183,19 @@ mod tests {
         let m = CostModel::default();
         let b1 = fwd_gbps(&m, 1);
         let b64 = fwd_gbps(&m, 64);
-        assert!((0.70..0.90).contains(&b1), "batch=1: {b1:.2} Gbps (paper: 0.78)");
-        assert!((9.5..11.5).contains(&b64), "batch=64: {b64:.2} Gbps (paper: 10.5)");
+        assert!(
+            (0.70..0.90).contains(&b1),
+            "batch=1: {b1:.2} Gbps (paper: 0.78)"
+        );
+        assert!(
+            (9.5..11.5).contains(&b64),
+            "batch=64: {b64:.2} Gbps (paper: 10.5)"
+        );
         let speedup = b64 / b1;
-        assert!((11.0..16.0).contains(&speedup), "speedup {speedup:.1} (paper: 13.5)");
+        assert!(
+            (11.0..16.0).contains(&speedup),
+            "speedup {speedup:.1} (paper: 13.5)"
+        );
     }
 
     #[test]
@@ -171,8 +204,16 @@ mod tests {
         let b32 = fwd_gbps(&m, 32);
         let b64 = fwd_gbps(&m, 64);
         let b128 = fwd_gbps(&m, 128);
-        assert!(b64 / b32 < 1.25, "32->64 gain should be small, got {}", b64 / b32);
-        assert!(b128 / b64 < 1.12, "64->128 gain should be tiny, got {}", b128 / b64);
+        assert!(
+            b64 / b32 < 1.25,
+            "32->64 gain should be small, got {}",
+            b64 / b32
+        );
+        assert!(
+            b128 / b64 < 1.12,
+            "64->128 gain should be tiny, got {}",
+            b128 / b64
+        );
     }
 
     #[test]
@@ -185,7 +226,10 @@ mod tests {
         assert!((skb_share - 63.1).abs() < 0.01);
         // Largest bin is the memory subsystem.
         assert_eq!(
-            TABLE3_BINS.iter().max_by(|a, b| a.percent.total_cmp(&b.percent)).map(|b| b.name),
+            TABLE3_BINS
+                .iter()
+                .max_by(|a, b| a.percent.total_cmp(&b.percent))
+                .map(|b| b.name),
             Some("memory subsystem")
         );
         assert!(l.bin_cycles(2) > 1000);
@@ -198,7 +242,11 @@ mod tests {
         let l = LinuxBaseline::default();
         let m = CostModel::default();
         let engine_rx = m.rx_batch_cycles(1, 64, Placement::NumaAware);
-        assert!(engine_rx < l.rx_cycles(), "engine {engine_rx} vs legacy {}", l.rx_cycles());
+        assert!(
+            engine_rx < l.rx_cycles(),
+            "engine {engine_rx} vs legacy {}",
+            l.rx_cycles()
+        );
     }
 
     #[test]

@@ -109,7 +109,12 @@ impl HugePacketBuffer {
     /// per-packet offsets — the engine's copy-to-user step, which the
     /// paper chose over zero-copy "for better abstraction" (§4.3).
     pub fn copy_batch_to_user(&self, cells: &[CellRef]) -> (Vec<u8>, Vec<(usize, usize)>) {
-        let total: usize = cells.iter().map(|&c| self.packet(c).len()).collect::<Vec<_>>().iter().sum();
+        let total: usize = cells
+            .iter()
+            .map(|&c| self.packet(c).len())
+            .collect::<Vec<_>>()
+            .iter()
+            .sum();
         let mut buf = Vec::with_capacity(total);
         let mut index = Vec::with_capacity(cells.len());
         for &c in cells {

@@ -77,7 +77,7 @@ impl Dir24Table {
                     let id = long.len() / 256;
                     assert!(id < (LONG_FLAG as usize), "TBLlong exhausted");
                     let fill = tbl24[idx24];
-                    long.extend(std::iter::repeat(fill).take(256));
+                    long.extend(std::iter::repeat_n(fill, 256));
                     tbl24[idx24] = LONG_FLAG | id as u16;
                     id
                 };
@@ -203,8 +203,8 @@ impl Dir24Table {
                 let fill = e;
                 let fill_len = self.len24[idx];
                 self.image
-                    .extend(std::iter::repeat(fill.to_le_bytes()).take(256).flatten());
-                self.len_long.extend(std::iter::repeat(fill_len).take(256));
+                    .extend(std::iter::repeat_n(fill.to_le_bytes(), 256).flatten());
+                self.len_long.extend(std::iter::repeat_n(fill_len, 256));
                 self.long_blocks += 1;
                 self.set_tbl24_entry(idx, LONG_FLAG | id as u16);
                 self.len24[idx] = 33;
@@ -270,12 +270,12 @@ mod tests {
 
     fn simple_routes() -> Vec<Route4> {
         vec![
-            Route4::new(0x0A000000, 8, 1),    // 10/8
-            Route4::new(0x0A0B0000, 16, 2),   // 10.11/16
-            Route4::new(0x0A0B0C00, 24, 3),   // 10.11.12/24
-            Route4::new(0x0A0B0C80, 25, 4),   // 10.11.12.128/25
-            Route4::new(0x0A0B0CFF, 32, 5),   // 10.11.12.255/32
-            Route4::new(0x00000000, 0, 6),    // default
+            Route4::new(0x0A000000, 8, 1),  // 10/8
+            Route4::new(0x0A0B0000, 16, 2), // 10.11/16
+            Route4::new(0x0A0B0C00, 24, 3), // 10.11.12/24
+            Route4::new(0x0A0B0C80, 25, 4), // 10.11.12.128/25
+            Route4::new(0x0A0B0CFF, 32, 5), // 10.11.12.255/32
+            Route4::new(0x00000000, 0, 6),  // default
         ]
     }
 
@@ -320,7 +320,13 @@ mod tests {
         let routes = simple_routes();
         let t = Dir24Table::build(&routes);
         // Sweep around every route boundary.
-        for base in [0x0A000000u32, 0x0A0B0000, 0x0A0B0C00, 0x0A0B0C80, 0x0A0B0CFF] {
+        for base in [
+            0x0A000000u32,
+            0x0A0B0000,
+            0x0A0B0C00,
+            0x0A0B0C80,
+            0x0A0B0CFF,
+        ] {
             for delta in -2i64..=2 {
                 let addr = (base as i64 + delta) as u32;
                 assert!(
@@ -365,11 +371,11 @@ mod tests {
         // step.
         let base = simple_routes();
         let extra = [
-            Route4::new(0x0A0B0C40, 26, 1),  // inside the spilled /24
-            Route4::new(0x0A0B0000, 18, 2),  // covers the spilled /24
-            Route4::new(0xC0A80000, 16, 3),  // fresh region
-            Route4::new(0xC0A80180, 25, 4),  // new spill
-            Route4::new(0xC0A80000, 16, 5),  // replace an existing route
+            Route4::new(0x0A0B0C40, 26, 1), // inside the spilled /24
+            Route4::new(0x0A0B0000, 18, 2), // covers the spilled /24
+            Route4::new(0xC0A80000, 16, 3), // fresh region
+            Route4::new(0xC0A80180, 25, 4), // new spill
+            Route4::new(0xC0A80000, 16, 5), // replace an existing route
         ];
         let mut table = Dir24Table::build(&base);
         let mut all = base;
@@ -377,8 +383,16 @@ mod tests {
             table.insert(r);
             all.push(r);
             for probe in [
-                0x0A0B0C41u32, 0x0A0B0C01, 0x0A0B0C81, 0x0A0BFFFF, 0x0A0B0001,
-                0xC0A80001, 0xC0A80181, 0xC0A801FF, 0xC0A80101, 0xDEADBEEF,
+                0x0A0B0C41u32,
+                0x0A0B0C01,
+                0x0A0B0C81,
+                0x0A0BFFFF,
+                0x0A0B0001,
+                0xC0A80001,
+                0xC0A80181,
+                0xC0A801FF,
+                0xC0A80101,
+                0xDEADBEEF,
             ] {
                 assert!(
                     matches_oracle(&table, &all, probe),

@@ -86,7 +86,7 @@ pub fn mask6(addr: u128, len: u8) -> u128 {
 pub fn lpm4(routes: &[Route4], addr: u32) -> Option<u16> {
     let mut best: Option<&Route4> = None;
     for r in routes {
-        if r.matches(addr) && best.map_or(true, |b| r.len >= b.len) {
+        if r.matches(addr) && best.is_none_or(|b| r.len >= b.len) {
             best = Some(r);
         }
     }
@@ -97,7 +97,7 @@ pub fn lpm4(routes: &[Route4], addr: u32) -> Option<u16> {
 pub fn lpm6(routes: &[Route6], addr: u128) -> Option<u16> {
     let mut best: Option<&Route6> = None;
     for r in routes {
-        if r.matches(addr) && best.map_or(true, |b| r.len >= b.len) {
+        if r.matches(addr) && best.is_none_or(|b| r.len >= b.len) {
             best = Some(r);
         }
     }

@@ -10,8 +10,7 @@
 //!   prefixes (IPv6 tables in 2010 were too small to stress a CPU
 //!   cache, so the paper generates random ones; we do the same).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ps_rng::Rng;
 
 use crate::route::{Route4, Route6};
 
@@ -53,7 +52,7 @@ pub const ROUTEVIEWS_PREFIXES: usize = 282_797;
 /// Deterministic per seed; next hops cycle through `hops`.
 pub fn routeviews_like(n: usize, hops: u16, seed: u64) -> Vec<Route4> {
     assert!(hops > 0);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let total: u32 = ROUTEVIEWS_LENGTH_PERMILLE.iter().map(|(_, w)| w).sum();
     let mut out = Vec::with_capacity(n);
     let mut seen = std::collections::HashSet::with_capacity(n);
@@ -68,7 +67,7 @@ pub fn routeviews_like(n: usize, hops: u16, seed: u64) -> Vec<Route4> {
             pick -= w;
         }
         // Public-ish address space: avoid 0/8 and 127/8 for realism.
-        let addr: u32 = rng.gen_range(0x0100_0000..0xE000_0000);
+        let addr: u32 = rng.gen_range(0x0100_0000u32..0xE000_0000);
         let r = Route4::new(addr, len, out.len() as u16 % hops);
         if seen.insert((r.prefix, r.len)) {
             out.push(r);
@@ -83,13 +82,15 @@ pub fn routeviews_like(n: usize, hops: u16, seed: u64) -> Vec<Route4> {
 /// unicast).
 pub fn random_ipv6(n: usize, hops: u16, seed: u64) -> Vec<Route6> {
     assert!(hops > 0);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n);
     let mut seen = std::collections::HashSet::with_capacity(n);
     while out.len() < n {
-        let len = *[16u8, 20, 24, 28, 32, 32, 36, 40, 44, 48, 48, 48, 52, 56, 60, 64, 64]
-            .get(rng.gen_range(0..17))
-            .expect("index in range");
+        let len = *[
+            16u8, 20, 24, 28, 32, 32, 36, 40, 44, 48, 48, 48, 52, 56, 60, 64, 64,
+        ]
+        .get(rng.gen_range(0usize..17))
+        .expect("index in range");
         let hi: u64 = rng.gen();
         let lo: u64 = rng.gen();
         let addr = ((u128::from(hi) << 64) | u128::from(lo)) >> 3 | (0b001u128 << 125);
@@ -104,13 +105,13 @@ pub fn random_ipv6(n: usize, hops: u16, seed: u64) -> Vec<Route6> {
 /// Uniform random IPv4 addresses for lookup workloads (the generator
 /// uses "random destination IP addresses", §6.1).
 pub fn random_v4_addrs(n: usize, seed: u64) -> Vec<u32> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..n).map(|_| rng.gen()).collect()
 }
 
 /// Uniform random IPv6 addresses in 2000::/3.
 pub fn random_v6_addrs(n: usize, seed: u64) -> Vec<u128> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
             let hi: u64 = rng.gen();

@@ -124,9 +124,7 @@ impl V6Table {
                         if l >= len {
                             continue;
                         }
-                        if let Some(&(hop, true)) =
-                            levels[l as usize - 1].get(&mask6(key, l))
-                        {
+                        if let Some(&(hop, true)) = levels[l as usize - 1].get(&mask6(key, l)) {
                             bmp = hop;
                             break;
                         }

@@ -109,8 +109,10 @@ mod tests {
 
     #[test]
     fn incremental_update_matches_recompute() {
-        let mut data = [0x45u8, 0x00, 0x00, 0x54, 0xab, 0xcd, 0x40, 0x00, 0x40, 0x01, 0, 0, 10, 0,
-            0, 1, 10, 0, 0, 2];
+        let mut data = [
+            0x45u8, 0x00, 0x00, 0x54, 0xab, 0xcd, 0x40, 0x00, 0x40, 0x01, 0, 0, 10, 0, 0, 1, 10, 0,
+            0, 2,
+        ];
         let c = checksum(&data);
         data[10] = (c >> 8) as u8;
         data[11] = c as u8;
@@ -123,7 +125,10 @@ mod tests {
         let updated = update16(u16::from_be_bytes([data[10], data[11]]), old, new);
         data[10] = (updated >> 8) as u8;
         data[11] = updated as u8;
-        assert!(verify(&data), "incremental update should keep checksum valid");
+        assert!(
+            verify(&data),
+            "incremental update should keep checksum valid"
+        );
     }
 
     #[test]

@@ -180,12 +180,18 @@ mod tests {
     #[test]
     fn misaligned_ciphertext_rejected() {
         let v = vec![0u8; total_len(64) + 1];
-        assert_eq!(EspPacket::new_checked(&v[..]).unwrap_err(), Error::BadLength);
+        assert_eq!(
+            EspPacket::new_checked(&v[..]).unwrap_err(),
+            Error::BadLength
+        );
     }
 
     #[test]
     fn too_short_rejected() {
-        let v = vec![0u8; HEADER_LEN + IV_LEN + ICV_LEN];
-        assert_eq!(EspPacket::new_checked(&v[..]).unwrap_err(), Error::Truncated);
+        let v = [0u8; HEADER_LEN + IV_LEN + ICV_LEN];
+        assert_eq!(
+            EspPacket::new_checked(&v[..]).unwrap_err(),
+            Error::Truncated
+        );
     }
 }

@@ -97,7 +97,13 @@ impl FlowKey {
     /// The RSS-style 5-tuple `(nw_src, nw_dst, tp_src, tp_dst,
     /// nw_proto)` used for flow-affinity hashing (§4.4).
     pub fn five_tuple(&self) -> (u32, u32, u16, u16, u8) {
-        (self.nw_src, self.nw_dst, self.tp_src, self.tp_dst, self.nw_proto)
+        (
+            self.nw_src,
+            self.nw_dst,
+            self.tp_src,
+            self.tp_dst,
+            self.nw_proto,
+        )
     }
 }
 

@@ -232,7 +232,10 @@ mod tests {
     fn bad_version_rejected() {
         let mut v = packet_bytes(0);
         v[0] = 0x65; // version 6
-        assert_eq!(Ipv4Packet::new_checked(&v[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            Ipv4Packet::new_checked(&v[..]).unwrap_err(),
+            Error::Malformed
+        );
     }
 
     #[test]
@@ -247,14 +250,20 @@ mod tests {
     fn total_len_overrun_rejected() {
         let mut v = packet_bytes(0);
         v[2..4].copy_from_slice(&100u16.to_be_bytes());
-        assert_eq!(Ipv4Packet::new_checked(&v[..]).unwrap_err(), Error::BadLength);
+        assert_eq!(
+            Ipv4Packet::new_checked(&v[..]).unwrap_err(),
+            Error::BadLength
+        );
     }
 
     #[test]
     fn total_len_below_header_rejected() {
         let mut v = packet_bytes(8);
         v[2..4].copy_from_slice(&10u16.to_be_bytes());
-        assert_eq!(Ipv4Packet::new_checked(&v[..]).unwrap_err(), Error::BadLength);
+        assert_eq!(
+            Ipv4Packet::new_checked(&v[..]).unwrap_err(),
+            Error::BadLength
+        );
     }
 
     #[test]

@@ -176,7 +176,10 @@ mod tests {
     fn bad_version_rejected() {
         let mut v = packet_bytes(0);
         v[0] = 0x45;
-        assert_eq!(Ipv6Packet::new_checked(&v[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            Ipv6Packet::new_checked(&v[..]).unwrap_err(),
+            Error::Malformed
+        );
     }
 
     #[test]
@@ -191,7 +194,10 @@ mod tests {
     fn payload_len_overrun_rejected() {
         let mut v = packet_bytes(4);
         v[4..6].copy_from_slice(&100u16.to_be_bytes());
-        assert_eq!(Ipv6Packet::new_checked(&v[..]).unwrap_err(), Error::BadLength);
+        assert_eq!(
+            Ipv6Packet::new_checked(&v[..]).unwrap_err(),
+            Error::BadLength
+        );
     }
 
     #[test]

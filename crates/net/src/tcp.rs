@@ -182,15 +182,21 @@ mod tests {
     fn bad_data_offset_rejected() {
         let mut v = segment();
         v[12] = 3 << 4; // below minimum
-        assert_eq!(TcpSegment::new_checked(&v[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            TcpSegment::new_checked(&v[..]).unwrap_err(),
+            Error::Malformed
+        );
         let mut v = segment();
         v[12] = 15 << 4; // beyond buffer
-        assert_eq!(TcpSegment::new_checked(&v[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            TcpSegment::new_checked(&v[..]).unwrap_err(),
+            Error::Malformed
+        );
     }
 
     #[test]
     fn options_shift_payload() {
-        let mut v = vec![0u8; 28];
+        let mut v = [0u8; 28];
         {
             let mut s = TcpSegment::new_unchecked(&mut v[..]);
             s.set_src_port(1);

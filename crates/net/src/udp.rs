@@ -177,10 +177,16 @@ mod tests {
         );
         let mut v = datagram(b"abc");
         v[4..6].copy_from_slice(&100u16.to_be_bytes());
-        assert_eq!(UdpDatagram::new_checked(&v[..]).unwrap_err(), Error::BadLength);
+        assert_eq!(
+            UdpDatagram::new_checked(&v[..]).unwrap_err(),
+            Error::BadLength
+        );
         let mut v = datagram(b"abc");
         v[4..6].copy_from_slice(&4u16.to_be_bytes());
-        assert_eq!(UdpDatagram::new_checked(&v[..]).unwrap_err(), Error::BadLength);
+        assert_eq!(
+            UdpDatagram::new_checked(&v[..]).unwrap_err(),
+            Error::BadLength
+        );
     }
 
     #[test]

@@ -158,7 +158,10 @@ mod tests {
             let mut ip = Ipv4Packet::new_unchecked(&mut f[14..]);
             ip.fill_checksum();
         }
-        assert_eq!(classify(&f, &[]), Verdict::SlowPath(SlowPathReason::Options));
+        assert_eq!(
+            classify(&f, &[]),
+            Verdict::SlowPath(SlowPathReason::Options)
+        );
     }
 
     #[test]

@@ -3,9 +3,9 @@
 /// The Microsoft verification key from the RSS specification; also
 /// the default key of the ixgbe driver the paper modifies.
 pub const MSFT_KEY: [u8; 40] = [
-    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
-    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
-    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+    0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+    0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
 ];
 
 /// Toeplitz hash of `input` under `key`. Bit `i` of the input selects
@@ -31,7 +31,11 @@ pub fn toeplitz_hash(key: &[u8; 40], input: &[u8]) -> u32 {
             if bits_used == 8 {
                 bits_used = 0;
                 next_byte += 1;
-                window_next = if next_byte < key.len() { key[next_byte] } else { 0 };
+                window_next = if next_byte < key.len() {
+                    key[next_byte]
+                } else {
+                    0
+                };
             }
         }
     }
@@ -104,9 +108,12 @@ impl Rss {
 mod tests {
     use super::*;
 
+    /// (addr, port) endpoint in a verification vector.
+    type Endpoint = (u32, u16);
+
     /// Microsoft RSS verification suite (IPv4 with TCP ports).
     /// (dst_addr:port, src_addr:port, expected hash)
-    const VECTORS: &[((u32, u16), (u32, u16), u32)] = &[
+    const VECTORS: &[(Endpoint, Endpoint, u32)] = &[
         ((0xa18e6450, 1766), (0x420995bb, 2794), 0x51ccc178),
         ((0x41458c53, 4739), (0xc75c6f02, 14230), 0xc626b0ea),
         ((0x0c16cfb8, 38024), (0x1813c65f, 12898), 0x5c2b394a),
@@ -160,8 +167,12 @@ mod tests {
         let rss = Rss::spread_over(4);
         let mut counts = [0u32; 4];
         for i in 0..40_000u32 {
-            counts[rss.queue_for(i.wrapping_mul(2654435761), 0x0B000001, (i % 61000) as u16, 53)
-                as usize] += 1;
+            counts[rss.queue_for(
+                i.wrapping_mul(2654435761),
+                0x0B000001,
+                (i % 61000) as u16,
+                53,
+            ) as usize] += 1;
         }
         for c in counts {
             assert!((8_000..12_000).contains(&c), "counts={counts:?}");

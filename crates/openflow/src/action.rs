@@ -41,7 +41,12 @@ mod tests {
 
     #[test]
     fn encode_decode_round_trip() {
-        for a in [Action::Output(0), Action::Output(7), Action::Drop, Action::Controller] {
+        for a in [
+            Action::Output(0),
+            Action::Output(7),
+            Action::Drop,
+            Action::Controller,
+        ] {
             assert_eq!(Action::decode(a.encode()), a);
         }
     }

@@ -62,8 +62,10 @@ impl WildcardEntry {
             && (f & wc::DL_DST == 0 || key.dl_dst == self.key.dl_dst)
             && (f & wc::DL_VLAN == 0 || key.dl_vlan == self.key.dl_vlan)
             && (f & wc::DL_TYPE == 0 || key.dl_type == self.key.dl_type)
-            && (f & wc::NW_SRC == 0 || key.nw_src & self.nw_src_mask == self.key.nw_src & self.nw_src_mask)
-            && (f & wc::NW_DST == 0 || key.nw_dst & self.nw_dst_mask == self.key.nw_dst & self.nw_dst_mask)
+            && (f & wc::NW_SRC == 0
+                || key.nw_src & self.nw_src_mask == self.key.nw_src & self.nw_src_mask)
+            && (f & wc::NW_DST == 0
+                || key.nw_dst & self.nw_dst_mask == self.key.nw_dst & self.nw_dst_mask)
             && (f & wc::NW_PROTO == 0 || key.nw_proto == self.key.nw_proto)
             && (f & wc::TP_SRC == 0 || key.tp_src == self.key.tp_src)
             && (f & wc::TP_DST == 0 || key.tp_dst == self.key.tp_dst)
@@ -304,7 +306,11 @@ mod tests {
             e.nw_dst_mask = u32::MAX;
             e.key = packet_key();
             t.insert(e);
-            assert_eq!(t.lookup(&packet_key()).0, Some(Action::Output(1)), "field {f:#x}");
+            assert_eq!(
+                t.lookup(&packet_key()).0,
+                Some(Action::Output(1)),
+                "field {f:#x}"
+            );
             // Perturb the matched field -> miss.
             let mut k = packet_key();
             match f {

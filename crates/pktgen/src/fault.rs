@@ -3,8 +3,7 @@
 //! router that randomly drops or corrupts frames, exercising the
 //! router's checksum verification and slow-path classification.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ps_rng::Rng;
 
 use ps_io::Packet;
 
@@ -33,7 +32,7 @@ impl FaultConfig {
 /// The injector: deterministic per seed.
 pub struct FaultInjector {
     cfg: FaultConfig,
-    rng: SmallRng,
+    rng: Rng,
     /// Packets dropped by the injector.
     pub dropped: u64,
     /// Packets corrupted by the injector.
@@ -47,7 +46,7 @@ impl FaultInjector {
         assert!((0.0..=1.0).contains(&cfg.corrupt_chance));
         FaultInjector {
             cfg,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             dropped: 0,
             corrupted: 0,
         }
@@ -67,7 +66,7 @@ impl FaultInjector {
         }
         if self.cfg.corrupt_chance > 0.0 && self.rng.gen_bool(self.cfg.corrupt_chance) {
             let idx = self.rng.gen_range(0..p.data.len());
-            let bit = 1u8 << self.rng.gen_range(0..8);
+            let bit = 1u8 << self.rng.gen_range(0u32..8);
             p.data[idx] ^= bit;
             self.corrupted += 1;
         }
@@ -104,7 +103,9 @@ mod tests {
             },
             2,
         );
-        let survived = (0..10_000).filter(|_| inj.apply(packet(64)).is_some()).count();
+        let survived = (0..10_000)
+            .filter(|_| inj.apply(packet(64)).is_some())
+            .count();
         assert!((8_200..8_800).contains(&survived), "survived {survived}");
         assert_eq!(inj.dropped, 10_000 - survived as u64);
     }
@@ -120,11 +121,7 @@ mod tests {
             3,
         );
         let p = inj.apply(packet(64)).expect("not dropped");
-        let diff: u32 = p
-            .data
-            .iter()
-            .map(|b| (b ^ 0xAB).count_ones())
-            .sum();
+        let diff: u32 = p.data.iter().map(|b| (b ^ 0xAB).count_ones()).sum();
         assert_eq!(diff, 1, "exactly one flipped bit");
         assert_eq!(inj.corrupted, 1);
     }

@@ -11,8 +11,7 @@ pub mod fault;
 
 use std::net::{Ipv4Addr, Ipv6Addr};
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ps_rng::Rng;
 
 use ps_io::Packet;
 use ps_net::ethernet::MacAddr;
@@ -73,7 +72,7 @@ impl TrafficSpec {
 /// arrivals rotate over the ports.
 pub struct Generator {
     spec: TrafficSpec,
-    rng: SmallRng,
+    rng: Rng,
     interval_num: u64,
     /// Fixed-point remainder accumulation for exact pacing.
     acc: u64,
@@ -91,7 +90,7 @@ impl Generator {
         // rational to avoid drift.
         Generator {
             spec,
-            rng: SmallRng::seed_from_u64(spec.seed),
+            rng: Rng::seed_from_u64(spec.seed),
             interval_num: wire_bits * 1_000_000_000,
             acc: 0,
             next_time: 0,
@@ -138,12 +137,12 @@ impl Generator {
     /// Deterministic tuple for flow `id` (also used by benches to
     /// install matching exact-match entries).
     pub fn flow_tuple(spec: &TrafficSpec, id: u32) -> (u32, u32, u16, u16) {
-        let mut r = SmallRng::seed_from_u64(spec.seed ^ (u64::from(id) << 20) ^ 0xF10F);
+        let mut r = Rng::seed_from_u64(spec.seed ^ (u64::from(id) << 20) ^ 0xF10F);
         (
             r.gen::<u32>() | 0x0100_0000,
             r.gen::<u32>(),
-            r.gen_range(1024..65000),
-            r.gen_range(1..65000),
+            r.gen_range(1024u16..65000),
+            r.gen_range(1u16..65000),
         )
     }
 
@@ -174,13 +173,21 @@ impl Generator {
                 ),
             };
         }
-        let sport: u16 = self.rng.gen_range(1024..65000);
-        let dport: u16 = self.rng.gen_range(1..65000);
+        let sport: u16 = self.rng.gen_range(1024u16..65000);
+        let dport: u16 = self.rng.gen_range(1u16..65000);
         match self.spec.kind {
             TrafficKind::Ipv4Udp => {
                 let src = Ipv4Addr::from(self.rng.gen::<u32>() | 0x0100_0000);
                 let dst = Ipv4Addr::from(self.rng.gen::<u32>());
-                PacketBuilder::udp_v4(src_mac, dst_mac, src, dst, sport, dport, self.spec.frame_len)
+                PacketBuilder::udp_v4(
+                    src_mac,
+                    dst_mac,
+                    src,
+                    dst,
+                    sport,
+                    dport,
+                    self.spec.frame_len,
+                )
             }
             TrafficKind::Ipv6Udp => {
                 fn gua(hi: u64, lo: u64) -> Ipv6Addr {
@@ -190,7 +197,15 @@ impl Generator {
                 }
                 let src = gua(self.rng.gen(), self.rng.gen());
                 let dst = gua(self.rng.gen(), self.rng.gen());
-                PacketBuilder::udp_v6(src_mac, dst_mac, src, dst, sport, dport, self.spec.frame_len)
+                PacketBuilder::udp_v6(
+                    src_mac,
+                    dst_mac,
+                    src,
+                    dst,
+                    sport,
+                    dport,
+                    self.spec.frame_len,
+                )
             }
         }
     }
@@ -247,7 +262,8 @@ impl Sink {
 
     /// Delivered throughput over `window`, paper metric.
     pub fn gbps(&self, window: Time) -> f64 {
-        self.delivered.gbps_with_overhead(window, ETHERNET_OVERHEAD_BYTES)
+        self.delivered
+            .gbps_with_overhead(window, ETHERNET_OVERHEAD_BYTES)
     }
 }
 
@@ -255,7 +271,6 @@ impl Sink {
 mod tests {
     use super::*;
     use ps_sim::{GIGA, MILLIS, SECONDS};
-
 
     #[test]
     fn pacing_matches_offered_load() {

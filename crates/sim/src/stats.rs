@@ -284,7 +284,7 @@ mod tests {
         assert_eq!(h.max(), 10 * SECONDS);
         let q = h.quantile(0.5);
         // Within one bucket (~12.5%) of the true value.
-        assert!(q >= 10 * SECONDS / 8 * 7 && q <= 10 * SECONDS);
+        assert!((10 * SECONDS / 8 * 7..=10 * SECONDS).contains(&q));
     }
 
     #[test]

@@ -66,7 +66,12 @@ fn main() {
         frame_len: 512,
         ..TrafficSpec::ipv4_64b(40.0, 9)
     };
-    let report = Router::run(cfg, IpsecApp::new(AES_KEY, NONCE, HMAC_KEY), spec, 2 * MILLIS);
+    let report = Router::run(
+        cfg,
+        IpsecApp::new(AES_KEY, NONCE, HMAC_KEY),
+        spec,
+        2 * MILLIS,
+    );
     println!(
         "under load: {:.1} Gbps of 512 B traffic encrypted (input metric), \
          {} kernel launches, p50 RTT {} us",

@@ -23,10 +23,7 @@ fn table(prefixes: usize) -> Vec<Route4> {
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let prefixes: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(100_000);
+    let prefixes: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100_000);
     let gbps: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(80.0);
 
     println!("building DIR-24-8 table from {prefixes} prefixes...");

@@ -41,15 +41,15 @@ fn main() {
         "{:>8} | {:>22} | {:>22} | {:>22}",
         "offered", "CPU batch=1 (us)", "CPU batched (us)", "CPU+GPU (us)"
     );
-    println!("{:>8} | {:>10} {:>11} | {:>10} {:>11} | {:>10} {:>11}",
-        "", "mean", "p99", "mean", "p99", "mean", "p99");
+    println!(
+        "{:>8} | {:>10} {:>11} | {:>10} {:>11} | {:>10} {:>11}",
+        "", "mean", "p99", "mean", "p99", "mean", "p99"
+    );
     for gbps in [1.0, 4.0, 8.0, 16.0, 24.0] {
         let (m1, p1) = run(nobatch, gbps);
         let (m2, p2) = run(RouterConfig::paper_cpu(), gbps);
         let (m3, p3) = run(RouterConfig::paper_gpu(), gbps);
-        println!(
-            "{gbps:>7}G | {m1:>10.0} {p1:>11} | {m2:>10.0} {p2:>11} | {m3:>10.0} {p3:>11}"
-        );
+        println!("{gbps:>7}G | {m1:>10.0} {p1:>11} | {m2:>10.0} {p2:>11} | {m3:>10.0} {p3:>11}");
     }
     println!("\n(batching lowers latency under load by raising the forwarding rate — §6.4;");
     println!(" the GPU path stays flat while the CPU paths saturate and queue)");

@@ -21,7 +21,7 @@ fn main() {
     let routes = vec![
         Route4::new(u32::from_be_bytes([10, 0, 0, 0]), 8, 1), // 10/8      -> port 1
         Route4::new(u32::from_be_bytes([10, 9, 0, 0]), 16, 2), // 10.9/16  -> port 2
-        Route4::new(0, 0, 0),                                  // default   -> port 0
+        Route4::new(0, 0, 0),                                 // default   -> port 0
     ];
     let mut app = Ipv4App::new(&routes);
 

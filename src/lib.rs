@@ -25,6 +25,8 @@
 //! | [`io`] | `ps-io` | huge packet buffer, batched I/O cost models |
 //! | [`core`] | `ps-core` | the PacketShader framework + 4 applications |
 //! | [`pktgen`] | `ps-pktgen` | traffic generator / latency sink |
+//! | [`rng`] | `ps-rng` | deterministic RNG (SplitMix64 + xoshiro256**) |
+//! | [`check`] | `ps-check` | seeded property-testing harness |
 //!
 //! ## Quickstart
 //!
@@ -53,6 +55,7 @@
 //! assert!(report.delivery_ratio() > 0.99);
 //! ```
 
+pub use ps_check as check;
 pub use ps_core as core;
 pub use ps_crypto as crypto;
 pub use ps_gpu as gpu;
@@ -63,4 +66,5 @@ pub use ps_net as net;
 pub use ps_nic as nic;
 pub use ps_openflow as openflow;
 pub use ps_pktgen as pktgen;
+pub use ps_rng as rng;
 pub use ps_sim as sim;

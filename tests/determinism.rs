@@ -1,30 +1,54 @@
 //! Reproducibility: identical seeds must replay identical virtual-time
 //! results, in both modes — the property every experiment in
-//! EXPERIMENTS.md rests on.
+//! EXPERIMENTS.md rests on. Fingerprints cover all four applications
+//! (IPv4, Minimal, IPsec, OpenFlow), and a different-seed test guards
+//! against a seed being silently ignored anywhere in the pipeline.
 
-use packetshader::core::apps::{ForwardPattern, Ipv4App, MinimalApp};
-use packetshader::core::{Router, RouterConfig};
+use packetshader::core::apps::{ForwardPattern, IpsecApp, Ipv4App, MinimalApp, OpenFlowApp};
+use packetshader::core::{App, Router, RouterConfig};
 use packetshader::lookup::route::Route4;
 use packetshader::lookup::synth;
 use packetshader::pktgen::TrafficSpec;
 use packetshader::sim::MILLIS;
+use ps_bench::workloads;
 
-fn fingerprint(cfg: RouterConfig, seed: u64) -> (u64, u64, u64, u64, u64) {
-    let mut routes = vec![Route4::new(0, 1, 0), Route4::new(0x8000_0000, 1, 4)];
-    routes.extend(synth::routeviews_like(2_000, 8, 3));
-    let report = Router::run(
-        cfg,
-        Ipv4App::new(&routes),
-        TrafficSpec::ipv4_64b(30.0, seed),
-        MILLIS,
-    );
+/// The cross-run fingerprint: every seed-dependent aggregate the
+/// report exposes. Byte-stable across runs for a fixed (config, app,
+/// seed) triple.
+type Fingerprint = (u64, u64, u64, u64, u64, u64);
+
+fn run_fingerprint<A: App>(cfg: RouterConfig, app: A, spec: TrafficSpec) -> Fingerprint {
+    let report = Router::run(cfg, app, spec, MILLIS);
     (
         report.offered.packets,
         report.delivered.packets,
         report.rx_drops,
+        report.slow_path,
         report.latency.p50(),
         report.latency.max(),
     )
+}
+
+fn fingerprint(cfg: RouterConfig, seed: u64) -> Fingerprint {
+    let mut routes = vec![Route4::new(0, 1, 0), Route4::new(0x8000_0000, 1, 4)];
+    routes.extend(synth::routeviews_like(2_000, 8, 3));
+    run_fingerprint(
+        cfg,
+        Ipv4App::new(&routes),
+        TrafficSpec::ipv4_64b(30.0, seed),
+    )
+}
+
+fn fingerprint_ipsec(cfg: RouterConfig, seed: u64) -> Fingerprint {
+    let app = IpsecApp::new([7u8; 16], 0xABCD, b"determinism-key");
+    run_fingerprint(cfg, app, TrafficSpec::ipv4_64b(10.0, seed))
+}
+
+fn fingerprint_openflow(cfg: RouterConfig, seed: u64) -> Fingerprint {
+    let mut spec = TrafficSpec::ipv4_64b(20.0, seed);
+    spec.flows = Some(64);
+    let app = OpenFlowApp::new(workloads::openflow_switch(&spec, 64, 16));
+    run_fingerprint(cfg, app, spec)
 }
 
 #[test]
@@ -44,10 +68,49 @@ fn gpu_mode_is_deterministic() {
 }
 
 #[test]
+fn ipsec_app_is_deterministic_both_modes() {
+    assert_eq!(
+        fingerprint_ipsec(RouterConfig::paper_cpu(), 5),
+        fingerprint_ipsec(RouterConfig::paper_cpu(), 5)
+    );
+    assert_eq!(
+        fingerprint_ipsec(RouterConfig::paper_gpu(), 5),
+        fingerprint_ipsec(RouterConfig::paper_gpu(), 5)
+    );
+}
+
+#[test]
+fn openflow_app_is_deterministic_both_modes() {
+    assert_eq!(
+        fingerprint_openflow(RouterConfig::paper_cpu(), 5),
+        fingerprint_openflow(RouterConfig::paper_cpu(), 5)
+    );
+    assert_eq!(
+        fingerprint_openflow(RouterConfig::paper_gpu(), 5),
+        fingerprint_openflow(RouterConfig::paper_gpu(), 5)
+    );
+}
+
+/// Two different seeds must produce different fingerprints in every
+/// app — a seed that stops reaching the generator would freeze the
+/// traffic and silently void every "deterministic per seed" claim.
+#[test]
 fn different_seeds_differ() {
     assert_ne!(
         fingerprint(RouterConfig::paper_cpu(), 5),
         fingerprint(RouterConfig::paper_cpu(), 6)
+    );
+}
+
+#[test]
+fn different_seeds_differ_ipsec_and_openflow() {
+    assert_ne!(
+        fingerprint_ipsec(RouterConfig::paper_cpu(), 5),
+        fingerprint_ipsec(RouterConfig::paper_cpu(), 6)
+    );
+    assert_ne!(
+        fingerprint_openflow(RouterConfig::paper_cpu(), 5),
+        fingerprint_openflow(RouterConfig::paper_cpu(), 6)
     );
 }
 

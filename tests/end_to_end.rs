@@ -1,7 +1,7 @@
 //! End-to-end router runs: packets in, correctly forwarded packets
 //! out, across all four applications and both execution modes.
 
-use packetshader::core::apps::{ForwardPattern, Ipv4App, Ipv6App, IpsecApp, MinimalApp};
+use packetshader::core::apps::{ForwardPattern, IpsecApp, Ipv4App, Ipv6App, MinimalApp};
 use packetshader::core::{Router, RouterConfig};
 use packetshader::lookup::route::{Route4, Route6};
 use packetshader::lookup::synth;
@@ -41,7 +41,11 @@ fn minimal_forwarding_is_lossless_at_light_load() {
         spec(TrafficKind::Ipv4Udp, 2.0),
         MILLIS,
     );
-    assert!(report.delivery_ratio() > 0.999, "{}", report.delivery_ratio());
+    assert!(
+        report.delivery_ratio() > 0.999,
+        "{}",
+        report.delivery_ratio()
+    );
     assert_eq!(report.rx_drops, 0);
     assert_eq!(report.app_drops, 0);
 }

@@ -2,7 +2,7 @@
 //! same forwarding decisions and emit identical bytes, packet for
 //! packet — the core guarantee that the offload is transparent.
 
-use packetshader::core::apps::{Ipv4App, Ipv6App, IpsecApp, OpenFlowApp};
+use packetshader::core::apps::{IpsecApp, Ipv4App, Ipv6App, OpenFlowApp};
 use packetshader::core::App;
 use packetshader::gpu::{GpuDevice, GpuEngine};
 use packetshader::hw::ioh::Ioh;
@@ -11,9 +11,8 @@ use packetshader::hw::spec::{IohSpec, PcieSpec};
 use packetshader::io::Packet;
 use packetshader::lookup::route::{Route4, Route6};
 use packetshader::lookup::synth;
-use packetshader::net::{FlowKey, PacketBuilder};
 use packetshader::net::ethernet::MacAddr;
-use packetshader::nic::port::PortId;
+use packetshader::net::{FlowKey, PacketBuilder};
 use packetshader::openflow::wildcard::wc;
 use packetshader::openflow::{Action, OpenFlowSwitch, WildcardEntry};
 use packetshader::pktgen::{Generator, TrafficKind, TrafficSpec};
@@ -55,8 +54,14 @@ fn assert_parity<A: App>(mut cpu_app: A, mut gpu_app: A, pkts: Vec<Packet>) {
     gpu_app.shade(0, &mut eng, &mut ioh, 0, &mut via_gpu);
     via_gpu.retain(|p| p.out_port.is_some());
 
-    let a: Vec<_> = via_cpu.iter().map(|p| (p.id, p.out_port, p.data.clone())).collect();
-    let b: Vec<_> = via_gpu.iter().map(|p| (p.id, p.out_port, p.data.clone())).collect();
+    let a: Vec<_> = via_cpu
+        .iter()
+        .map(|p| (p.id, p.out_port, p.data.clone()))
+        .collect();
+    let b: Vec<_> = via_gpu
+        .iter()
+        .map(|p| (p.id, p.out_port, p.data.clone()))
+        .collect();
     assert_eq!(a.len(), b.len(), "packet counts differ");
     for (x, y) in a.iter().zip(b.iter()) {
         assert_eq!(x.0, y.0, "packet order");
@@ -117,7 +122,11 @@ fn openflow_parity_with_mixed_tables() {
         sw.add_wildcard(WildcardEntry {
             fields: wc::NW_PROTO | wc::TP_DST,
             priority: 50,
-            key: FlowKey { nw_proto: 17, tp_dst: 53, ..FlowKey::default() },
+            key: FlowKey {
+                nw_proto: 17,
+                tp_dst: 53,
+                ..FlowKey::default()
+            },
             nw_src_mask: 0,
             nw_dst_mask: 0,
             action: Action::Output(1),
@@ -126,7 +135,10 @@ fn openflow_parity_with_mixed_tables() {
             sw.add_wildcard(WildcardEntry {
                 fields: wc::NW_DST,
                 priority: 0,
-                key: FlowKey { nw_dst: u32::from(i) << 29, ..FlowKey::default() },
+                key: FlowKey {
+                    nw_dst: u32::from(i) << 29,
+                    ..FlowKey::default()
+                },
                 nw_src_mask: 0,
                 nw_dst_mask: 0xE000_0000,
                 action: Action::Output(i),

@@ -1,8 +1,9 @@
-//! Property-based tests on the core invariants.
+//! Property-based tests on the core invariants, on the in-tree
+//! `ps-check` harness (seeded cases, shrink-by-halving, replayable
+//! from the printed seed). Same invariants the proptest suite
+//! checked, ≥64 cases each (`PS_CHECK_CASES` raises it).
 
-use proptest::collection::vec;
-use proptest::prelude::*;
-
+use packetshader::check::{check, ensure, ensure_eq, ensure_ne, Gen};
 use packetshader::crypto::esp::{decrypt_tunnel, encrypt_tunnel, SecurityAssociation};
 use packetshader::crypto::hmac::HmacSha1;
 use packetshader::crypto::sha1::Sha1;
@@ -14,106 +15,147 @@ use packetshader::net::ethernet::MacAddr;
 use packetshader::net::ipv4::Ipv4Packet;
 use packetshader::net::PacketBuilder;
 
-fn route4() -> impl Strategy<Value = Route4> {
-    (any::<u32>(), 0u8..=32, 0u16..8).prop_map(|(p, l, h)| Route4::new(p, l, h))
+fn route4(g: &mut Gen) -> Route4 {
+    let p = g.value::<u32>();
+    let l = g.int_in(0u8..=32);
+    let h = g.int_in(0u16..8);
+    Route4::new(p, l, h)
 }
 
-fn route6() -> impl Strategy<Value = Route6> {
-    (any::<u128>(), 0u8..=128, 0u16..8).prop_map(|(p, l, h)| Route6::new(p, l, h))
+fn route6(g: &mut Gen) -> Route6 {
+    let p = g.value::<u128>();
+    let l = g.int_in(0u8..=128);
+    let h = g.int_in(0u16..8);
+    Route6::new(p, l, h)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// DIR-24-8 must agree with the naive LPM oracle on any route set
-    /// and any address.
-    #[test]
-    fn dir24_equals_oracle(routes in vec(route4(), 1..60), addrs in vec(any::<u32>(), 1..40)) {
+/// DIR-24-8 must agree with the naive LPM oracle on any route set
+/// and any address.
+#[test]
+fn dir24_equals_oracle() {
+    check("dir24_equals_oracle", |g| {
+        let routes = g.vec_of(1, 60, route4);
+        let addrs = g.vec_of(1, 40, |g| g.value::<u32>());
         let table = Dir24Table::build(&routes);
         for addr in addrs {
             let want = lpm4(&routes, addr).unwrap_or(NO_ROUTE);
-            prop_assert_eq!(table.lookup_host(addr), want, "addr {:#010x}", addr);
+            ensure_eq!(table.lookup_host(addr), want, "addr {:#010x}", addr);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Waldvogel binary search must agree with the naive oracle.
-    #[test]
-    fn waldvogel_equals_oracle(routes in vec(route6(), 1..40), addrs in vec(any::<u128>(), 1..30)) {
+/// Waldvogel binary search must agree with the naive oracle.
+#[test]
+fn waldvogel_equals_oracle() {
+    check("waldvogel_equals_oracle", |g| {
+        let routes = g.vec_of(1, 40, route6);
+        let addrs = g.vec_of(1, 30, |g| g.value::<u128>());
         let table = V6Table::build(&routes);
         for addr in addrs {
             let want = lpm6(&routes, addr).unwrap_or(NO_ROUTE);
-            prop_assert_eq!(table.lookup_host(addr), want, "addr {:#034x}", addr);
+            ensure_eq!(table.lookup_host(addr), want, "addr {:#034x}", addr);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Lookups must also hit route boundaries exactly (first/last
-    /// address of every prefix).
-    #[test]
-    fn dir24_handles_prefix_boundaries(routes in vec(route4(), 1..40)) {
+/// Lookups must also hit route boundaries exactly (first/last
+/// address of every prefix).
+#[test]
+fn dir24_handles_prefix_boundaries() {
+    check("dir24_handles_prefix_boundaries", |g| {
+        let routes = g.vec_of(1, 40, route4);
         let table = Dir24Table::build(&routes);
         for r in &routes {
             let lo = r.prefix;
             let hi = r.prefix | !packetshader::lookup::route::mask4(u32::MAX, r.len);
             for addr in [lo, hi] {
                 let want = lpm4(&routes, addr).unwrap_or(NO_ROUTE);
-                prop_assert_eq!(table.lookup_host(addr), want);
+                ensure_eq!(table.lookup_host(addr), want, "addr {:#010x}", addr);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// ESP tunnel round trip for arbitrary payloads and keys.
-    #[test]
-    fn esp_round_trip(
-        inner in vec(any::<u8>(), 20..1500),
-        key in any::<[u8; 16]>(),
-        nonce in any::<u32>(),
-        hkey in vec(any::<u8>(), 1..64),
-    ) {
+/// ESP tunnel round trip for arbitrary payloads and keys.
+#[test]
+fn esp_round_trip() {
+    check("esp_round_trip", |g| {
+        let inner = g.bytes(20, 1500);
+        let key = g.byte_array::<16>();
+        let nonce = g.value::<u32>();
+        let hkey = g.bytes(1, 64);
         let mut sa = SecurityAssociation::new(1, &key, nonce, &hkey);
         let wire = encrypt_tunnel(&mut sa, &inner);
         let back = decrypt_tunnel(&sa, &wire).expect("own SA decrypts");
-        prop_assert_eq!(back, inner);
-    }
+        ensure_eq!(back, inner);
+        Ok(())
+    });
+}
 
-    /// Any single corrupted byte must be detected.
-    #[test]
-    fn esp_detects_any_corruption(
-        inner in vec(any::<u8>(), 20..200),
-        idx_seed in any::<u64>(),
-        flip in 1u8..=255,
-    ) {
+/// Any single corrupted byte must be detected.
+#[test]
+fn esp_detects_any_corruption() {
+    check("esp_detects_any_corruption", |g| {
+        let inner = g.bytes(20, 200);
+        let idx_seed = g.value::<u64>();
+        let flip = g.int_in(1u8..=255);
         let mut sa = SecurityAssociation::new(1, &[9; 16], 7, b"prop-key");
         let mut wire = encrypt_tunnel(&mut sa, &inner);
         let idx = (idx_seed as usize) % wire.len();
         wire[idx] ^= flip;
-        prop_assert!(decrypt_tunnel(&sa, &wire).is_err());
-    }
+        ensure!(
+            decrypt_tunnel(&sa, &wire).is_err(),
+            "corruption at byte {idx} undetected"
+        );
+        Ok(())
+    });
+}
 
-    /// HMAC is a function of the full message.
-    #[test]
-    fn hmac_distinguishes_messages(a in vec(any::<u8>(), 0..200), b in vec(any::<u8>(), 0..200)) {
+/// HMAC is a function of the full message.
+#[test]
+fn hmac_distinguishes_messages() {
+    check("hmac_distinguishes_messages", |g| {
+        let a = g.bytes(0, 200);
+        let b = g.bytes(0, 200);
         let h = HmacSha1::new(b"k");
         if a != b {
-            prop_assert_ne!(h.mac(&a), h.mac(&b));
+            ensure_ne!(h.mac(&a), h.mac(&b));
         } else {
-            prop_assert_eq!(h.mac(&a), h.mac(&b));
+            ensure_eq!(h.mac(&a), h.mac(&b));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// SHA-1 incremental updates equal one-shot hashing at any split.
-    #[test]
-    fn sha1_incremental_consistency(data in vec(any::<u8>(), 0..500), split_seed in any::<u64>()) {
-        let split = if data.is_empty() { 0 } else { (split_seed as usize) % data.len() };
+/// SHA-1 incremental updates equal one-shot hashing at any split.
+#[test]
+fn sha1_incremental_consistency() {
+    check("sha1_incremental_consistency", |g| {
+        let data = g.bytes(0, 500);
+        let split_seed = g.value::<u64>();
+        let split = if data.is_empty() {
+            0
+        } else {
+            (split_seed as usize) % data.len()
+        };
         let mut s = Sha1::new();
         s.update(&data[..split]);
         s.update(&data[split..]);
-        prop_assert_eq!(s.finalize(), Sha1::digest(&data));
-    }
+        ensure_eq!(s.finalize(), Sha1::digest(&data), "split {split}");
+        Ok(())
+    });
+}
 
-    /// TTL decrement keeps the IPv4 header checksum valid for every
-    /// initial TTL.
-    #[test]
-    fn ttl_decrement_checksum_invariant(ttl in 0u8..=255, dst in any::<u32>()) {
+/// TTL decrement keeps the IPv4 header checksum valid for every
+/// initial TTL.
+#[test]
+fn ttl_decrement_checksum_invariant() {
+    check("ttl_decrement_checksum_invariant", |g| {
+        let ttl = g.int_in(0u8..=255);
+        let dst = g.value::<u32>();
         let mut f = PacketBuilder::udp_v4(
             MacAddr::local(1),
             MacAddr::local(2),
@@ -127,13 +169,18 @@ proptest! {
         ip.set_ttl(ttl);
         ip.fill_checksum();
         ip.decrement_ttl();
-        prop_assert!(ip.verify_checksum());
-        prop_assert_eq!(ip.ttl(), ttl.saturating_sub(1));
-    }
+        ensure!(ip.verify_checksum(), "checksum broken at ttl {ttl}");
+        ensure_eq!(ip.ttl(), ttl.saturating_sub(1));
+        Ok(())
+    });
+}
 
-    /// Generated frames always classify to the fast path.
-    #[test]
-    fn generated_frames_are_fast_path(seed in any::<u64>(), size in 64usize..1514) {
+/// Generated frames always classify to the fast path.
+#[test]
+fn generated_frames_are_fast_path() {
+    check("generated_frames_are_fast_path", |g| {
+        let seed = g.value::<u64>();
+        let size = g.int_in(64usize..1514);
         let f = PacketBuilder::udp_v4(
             MacAddr::local(1),
             MacAddr::local(2),
@@ -143,6 +190,10 @@ proptest! {
             ((seed >> 16) % 60000) as u16,
             size,
         );
-        prop_assert_eq!(packetshader::net::classify(&f, &[]), packetshader::net::Verdict::FastPath);
-    }
+        ensure_eq!(
+            packetshader::net::classify(&f, &[]),
+            packetshader::net::Verdict::FastPath
+        );
+        Ok(())
+    });
 }
