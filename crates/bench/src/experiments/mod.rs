@@ -8,6 +8,7 @@ pub mod fig2;
 pub mod io;
 pub mod latency;
 pub mod micro;
+pub mod trace;
 
 /// Run everything in paper order (the `ps-bench all` entry point).
 pub fn run_all() {
@@ -27,4 +28,5 @@ pub fn run_all() {
     ablations::gather_scatter();
     ablations::concurrent_copy();
     ablations::opportunistic();
+    trace::stage_breakdown();
 }

@@ -7,6 +7,7 @@
 
 pub mod experiments;
 pub mod runner;
+pub mod trace;
 pub mod workloads;
 
 use std::time::Instant;

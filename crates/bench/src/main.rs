@@ -8,26 +8,59 @@
 //! ps-bench fig11a fig11b fig11c fig11d fig12
 //! ps-bench launch spec
 //! ps-bench ablate-gather ablate-streams ablate-opportunistic
+//! ps-bench trace-breakdown
+//! ps-bench --trace-out t.json fig6   # also dump the virtual-time trace
 //! ```
 //!
 //! `PS_BENCH_MS` sets the virtual milliseconds per throughput run
-//! (default 2; the README uses 4 for smoother numbers).
+//! (default 2; the README uses 4 for smoother numbers). `--trace-out
+//! <path>` (or setting `PS_TRACE`) records every simulation under a
+//! trace collector; with `--trace-out` the combined timeline is
+//! written as Chrome `trace_event` JSON (see OBSERVABILITY.md).
 
 use ps_bench::experiments as ex;
 use ps_bench::timed;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_out = None;
+    if let Some(i) = args.iter().position(|a| a == "--trace-out") {
+        if i + 1 >= args.len() {
+            eprintln!("ps-bench: --trace-out needs a path");
+            std::process::exit(2);
+        }
+        trace_out = Some(args.remove(i + 1));
+        args.remove(i);
+    }
     if args.is_empty() {
-        eprintln!("usage: ps-bench <experiment>...   (or: ps-bench all)");
+        eprintln!("usage: ps-bench [--trace-out t.json] <experiment>...   (or: ps-bench all)");
         eprintln!("experiments: spec table1 launch fig2 table3 fig5 fig6 numa");
         eprintln!("             fig11a fig11b fig11c fig11d fig12");
-        eprintln!("             ablate-gather ablate-streams ablate-opportunistic all");
+        eprintln!("             ablate-gather ablate-streams ablate-opportunistic");
+        eprintln!("             trace-breakdown all");
         std::process::exit(2);
     }
-    for arg in &args {
-        let ((), secs) = timed(|| dispatch(arg));
-        println!("[{arg}: simulated in {secs:.1}s wall clock]");
+    let tracing = trace_out.is_some() || std::env::var("PS_TRACE").is_ok();
+    let run_all = || {
+        for arg in &args {
+            let ((), secs) = timed(|| dispatch(arg));
+            println!("[{arg}: simulated in {secs:.1}s wall clock]");
+        }
+    };
+    if tracing {
+        let ((), collector) =
+            ps_bench::trace::traced(ps_bench::trace::config_from_env_or_all(), run_all);
+        if let Some(path) = trace_out {
+            match ps_bench::trace::write_chrome(&collector, &path) {
+                Ok(bytes) => println!("trace: wrote {path} ({bytes} bytes)"),
+                Err(e) => {
+                    eprintln!("ps-bench: cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    } else {
+        run_all();
     }
 }
 
@@ -81,6 +114,9 @@ fn dispatch(name: &str) {
         }
         "ablate-opportunistic" => {
             ex::ablations::opportunistic();
+        }
+        "trace-breakdown" => {
+            ex::trace::stage_breakdown();
         }
         "dbg-ipsec" => {
             use ps_core::apps::IpsecApp;

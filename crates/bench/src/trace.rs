@@ -1,0 +1,122 @@
+//! Harness-side tracing glue: run a simulation under an installed
+//! collector, export the timeline, and do the busy/idle accounting
+//! the `reproduce` binary prints.
+
+use ps_trace::{Category, Collector, Event, Phase, TraceConfig};
+
+/// Run `f` with a fresh collector installed on this thread; returns
+/// `f`'s result and the filled collector. Any previously installed
+/// collector is restored afterwards.
+pub fn traced<T>(cfg: TraceConfig, f: impl FnOnce() -> T) -> (T, Collector) {
+    let prior = ps_trace::install(Collector::new(cfg));
+    let out = f();
+    let collector = ps_trace::take().expect("collector installed above");
+    if let Some(p) = prior {
+        ps_trace::install(p);
+    }
+    (out, collector)
+}
+
+/// The trace configuration the harness runs with: `PS_TRACE` /
+/// `PS_TRACE_CAP` when set, everything otherwise.
+pub fn config_from_env_or_all() -> TraceConfig {
+    TraceConfig::from_env().unwrap_or_else(TraceConfig::all)
+}
+
+/// Export `collector` as Chrome `trace_event` JSON into `path`;
+/// returns the byte length written.
+pub fn write_chrome(collector: &Collector, path: &str) -> std::io::Result<usize> {
+    let json = ps_trace::chrome::export(collector);
+    std::fs::write(path, &json)?;
+    Ok(json.len())
+}
+
+/// Busy/idle accounting for one pipeline-stage lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneAccount {
+    /// Stage lane (worker index, then master gather/shade lanes).
+    pub lane: u32,
+    /// Summed `stage` span time clamped to `[0, window]` (ns).
+    pub busy: u64,
+    /// `window - busy` (ns).
+    pub idle: u64,
+}
+
+/// Per-lane accounting over the `stage` category: stage spans on one
+/// lane are disjoint by construction (each simulated thread works one
+/// interval at a time), so clamped busy + idle always sums exactly to
+/// `window`. This is the "durations sum to the virtual run time"
+/// invariant the reproduce binary checks after re-parsing its own
+/// dump.
+pub fn stage_lane_accounting(events: &[Event], window: u64) -> Vec<LaneAccount> {
+    let mut lanes: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    for ev in events {
+        if ev.cat != Category::Stage {
+            continue;
+        }
+        let Phase::Complete { dur } = ev.phase else {
+            continue;
+        };
+        let start = ev.ts.min(window);
+        let end = (ev.ts + dur).min(window);
+        *lanes.entry(ev.lane).or_insert(0) += end - start;
+    }
+    lanes
+        .into_iter()
+        .map(|(lane, busy)| LaneAccount {
+            lane,
+            busy,
+            idle: window - busy,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traced_restores_prior_collector() {
+        ps_trace::install(Collector::new(TraceConfig::all()));
+        ps_trace::complete(Category::Io, "outer", 0, 0, 1, Vec::new);
+        let ((), inner) = traced(TraceConfig::all(), || {
+            ps_trace::complete(Category::Io, "inner", 0, 0, 1, Vec::new);
+        });
+        assert_eq!(inner.len(), 1);
+        assert_eq!(inner.events().next().unwrap().name, "inner");
+        let outer = ps_trace::take().unwrap();
+        assert_eq!(outer.len(), 1);
+        assert_eq!(outer.events().next().unwrap().name, "outer");
+    }
+
+    #[test]
+    fn lane_accounting_sums_to_window() {
+        let mut c = Collector::new(TraceConfig::all());
+        c.complete(Category::Stage, "a", 0, 100, 400, vec![]);
+        c.complete(Category::Stage, "b", 0, 400, 600, vec![]);
+        // Runs past the window: clamped.
+        c.complete(Category::Stage, "c", 1, 900, 1_500, vec![]);
+        // Non-stage spans are ignored even when overlapping.
+        c.complete(Category::Gpu, "kernel", 0, 0, 1_000, vec![]);
+        let (events, _) = c.resolved();
+        let acc = stage_lane_accounting(&events, 1_000);
+        assert_eq!(
+            acc,
+            vec![
+                LaneAccount {
+                    lane: 0,
+                    busy: 500,
+                    idle: 500
+                },
+                LaneAccount {
+                    lane: 1,
+                    busy: 100,
+                    idle: 900
+                },
+            ]
+        );
+        for a in &acc {
+            assert_eq!(a.busy + a.idle, 1_000);
+        }
+    }
+}

@@ -178,7 +178,13 @@ impl<A: App> Router<A> {
         let ports = (0..cfg.ports)
             .map(|i| Port::new(PortId(i), tb.nic.line_rate_bits))
             .collect();
-        let iohs = (0..cfg.nodes).map(|_| Ioh::new(tb.ioh)).collect();
+        let iohs = (0..cfg.nodes)
+            .map(|i| {
+                let mut ioh = Ioh::new(tb.ioh);
+                ioh.set_trace_lane(i as u32);
+                ioh
+            })
+            .collect();
         let mut gpus = Vec::new();
         if cfg.mode == Mode::CpuGpu {
             for node in 0..cfg.nodes {
@@ -188,6 +194,7 @@ impl<A: App> Router<A> {
                 };
                 let mut eng = GpuEngine::new(dev, PcieModel::new(tb.pcie));
                 eng.concurrent_copy = cfg.concurrent_copy;
+                eng.trace_lane = node as u32;
                 app.setup_gpu(node, &mut eng);
                 gpus.push(eng);
             }
@@ -319,6 +326,21 @@ impl<A: App> Router<A> {
         self.cpu.cycles_to_ns(cycles)
     }
 
+    /// Trace lane for node `node`'s master gather work: masters get
+    /// the lanes just above the workers so every thread in the machine
+    /// has its own row in the timeline.
+    fn gather_lane(&self, node: usize) -> u32 {
+        (self.cfg.total_workers() + node) as u32
+    }
+
+    /// Trace lane for node `node`'s shading intervals. Kept separate
+    /// from the gather lane because in stream mode the next gather
+    /// overlaps the previous shade; per-lane stage spans stay disjoint
+    /// so busy-time accounting can sum them.
+    fn shade_lane(&self, node: usize) -> u32 {
+        (self.cfg.total_workers() + self.cfg.nodes + node) as u32
+    }
+
     fn wake_worker(&mut self, sched: &mut Scheduler<Ev>, w: usize, t: Time) {
         let t = t.max(sched.now());
         if let Some(pending) = self.workers[w].next_wake {
@@ -413,6 +435,7 @@ impl<A: App> Router<A> {
         if self.rings[worker].push(pkt).is_err() {
             return; // tail drop, counted by the ring
         }
+        ps_io::trace::trace_ring_depth(worker as u32, now, self.rings[worker].len() as u64);
         if self.workers[worker].idle {
             // Fire the (moderated) RX interrupt.
             let w = &mut self.workers[worker];
@@ -453,18 +476,37 @@ impl<A: App> Router<A> {
         };
         if can_fetch && !self.rings[w].is_empty() {
             let batch = self.rings[w].pop_batch(self.cfg.io.batch_cap);
+            ps_io::trace::trace_ring_depth(w as u32, now, self.rings[w].len() as u64);
             self.rx_batches += 1;
             self.rx_packets += batch.len() as u64;
+            let n = batch.len() as u64;
             let bytes: u64 = batch.iter().map(|p| p.len() as u64).sum();
-            let rx_cycles =
-                self.cost
-                    .rx_batch_cycles(batch.len() as u64, bytes, self.cfg.io.placement);
+            let rx_cycles = self.cost.rx_batch_cycles(n, bytes, self.cfg.io.placement);
             let mut pkts = batch;
             let pre = self.app.pre_shade(&mut pkts);
             self.app_drops += pre.dropped;
             self.slow_path += pre.slow_path;
             let t1 = now + self.cycles_ns(rx_cycles + pre.cycles);
             self.workers[w].busy_until = t1;
+            // One span for the fused RX-fetch + pre-shade interval:
+            // the model charges them as a single cycle budget, and
+            // splitting the ns conversion would round differently.
+            ps_io::trace::trace_rx_batch(w as u32, now, t1, n, bytes);
+            ps_trace::complete(
+                ps_trace::Category::Stage,
+                "pre_shade",
+                w as u32,
+                now,
+                t1,
+                || {
+                    vec![
+                        ("pkts", n),
+                        ("bytes", bytes),
+                        ("dropped", pre.dropped),
+                        ("slow_path", pre.slow_path),
+                    ]
+                },
+            );
 
             if pkts.is_empty() {
                 self.wake_worker(sched, w, t1);
@@ -481,6 +523,15 @@ impl<A: App> Router<A> {
                 let cycles = self.app.process_cpu(&mut pkts);
                 let t2 = t1 + self.cycles_ns(cycles);
                 self.workers[w].busy_until = t2;
+                let n = pkts.len() as u64;
+                ps_trace::complete(
+                    ps_trace::Category::Stage,
+                    "cpu_process",
+                    w as u32,
+                    t1,
+                    t2,
+                    || vec![("pkts", n)],
+                );
                 let chunk = Chunk::new(w, pkts, now);
                 // Transmit as soon as processing ends.
                 self.workers[w].done_queue.push_back((t2, chunk));
@@ -531,6 +582,18 @@ impl<A: App> Router<A> {
         };
         let t2 = now + self.cycles_ns(cycles);
         self.workers[w].busy_until = t2;
+        if charge {
+            let n = pkts.len() as u64;
+            ps_io::trace::trace_tx_batch(w as u32, now, t2, n, bytes);
+            ps_trace::complete(
+                ps_trace::Category::Stage,
+                "post_shade",
+                w as u32,
+                now,
+                t2,
+                || vec![("pkts", n), ("bytes", bytes)],
+            );
+        }
 
         for p in pkts {
             let out = p.out_port.expect("retained");
@@ -586,12 +649,29 @@ impl<A: App> Router<A> {
         let ready = now + self.cycles_ns(MASTER_CYCLES_PER_CHUNK * take as u64);
         self.shade_batches += 1;
         self.shade_packets += all.len() as u64;
+        let n = all.len() as u64;
+        ps_trace::complete(
+            ps_trace::Category::Stage,
+            "gather",
+            self.gather_lane(node),
+            now,
+            ready,
+            || vec![("chunks", take as u64), ("pkts", n)],
+        );
         let done = self.app.shade(
             node,
             &mut self.gpus[node],
             &mut self.iohs[node],
             ready,
             &mut all,
+        );
+        ps_trace::complete(
+            ps_trace::Category::Stage,
+            "shade",
+            self.shade_lane(node),
+            ready,
+            done,
+            || vec![("pkts", n)],
         );
 
         // Scatter results back to per-worker output queues.

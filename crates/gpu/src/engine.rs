@@ -47,6 +47,9 @@ pub struct GpuEngine {
     pub kernels_launched: u64,
     /// Total busy kernel time accumulated.
     pub kernel_busy: Time,
+    /// Trace lane for this device's `gpu`-category spans (set to the
+    /// NUMA node index by the router; engine 0 by default).
+    pub trace_lane: u32,
 }
 
 impl GpuEngine {
@@ -62,6 +65,7 @@ impl GpuEngine {
             serial_free: 0,
             kernels_launched: 0,
             kernel_busy: 0,
+            trace_lane: 0,
         }
     }
 
@@ -150,6 +154,17 @@ impl GpuEngine {
         if !self.concurrent_copy {
             self.serial_free = done;
         }
+        ps_trace::complete(
+            ps_trace::Category::Gpu,
+            match dir {
+                CopyDir::HostToDevice => "copy_h2d",
+                CopyDir::DeviceToHost => "copy_d2h",
+            },
+            self.trace_lane,
+            start,
+            done,
+            || vec![("bytes", bytes), ("wait", start - ready)],
+        );
         done
     }
 
@@ -180,6 +195,14 @@ impl GpuEngine {
         }
         self.kernels_launched += 1;
         self.kernel_busy += duration;
+        ps_trace::complete(
+            ps_trace::Category::Gpu,
+            "kernel",
+            self.trace_lane,
+            start,
+            done,
+            || vec![("threads", threads as u64), ("wait", start - ready)],
+        );
         (done, stats)
     }
 

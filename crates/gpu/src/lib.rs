@@ -24,6 +24,8 @@
 //!   copy-out per chunk, with optional concurrent copy & execution
 //!   (Figure 10(c)) that lets different chunks overlap engines.
 
+#![deny(missing_docs)]
+
 pub mod device;
 pub mod engine;
 pub mod kernel;

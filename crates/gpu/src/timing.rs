@@ -1,7 +1,7 @@
 //! The analytic kernel timing model.
 //!
 //! Kernel duration is the maximum of four bounds (a simplification of
-//! Hong & Kim's analytical GPU model, which the paper cites as [25]):
+//! Hong & Kim's analytical GPU model, which the paper cites as \[25\]):
 //!
 //! 1. **Issue bound** — each SM issues one warp instruction per cycle;
 //!    total warp-issue cycles spread over the SMs.

@@ -45,6 +45,16 @@ impl Ioh {
         }
     }
 
+    /// Label this IOH's servers for tracing as `"ioh.d2h"`,
+    /// `"ioh.h2d"` and `"ioh.shared"` on lane `lane` (the IOH/node
+    /// index). Each DMA then emits one `fabric` span per server it
+    /// crosses when that category is enabled.
+    pub fn set_trace_lane(&mut self, lane: u32) {
+        self.d2h.set_trace("ioh.d2h", lane);
+        self.h2d.set_trace("ioh.h2d", lane);
+        self.combined.set_trace("ioh.shared", lane);
+    }
+
     /// Submit a DMA transaction; returns its completion time.
     pub fn dma(&mut self, now: Time, dir: Direction, bytes: u64) -> Time {
         let dir_done = match dir {

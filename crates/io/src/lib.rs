@@ -13,12 +13,15 @@
 //!   path with Table 3's bins, and the batched engine path whose
 //!   per-packet + per-batch split reproduces Figure 5;
 //! * [`config`] — engine knobs: batch cap, NUMA placement policy,
-//!   queue↔core maps.
+//!   queue↔core maps;
+//! * [`trace`] — `io`-category trace events for batch assembly (see
+//!   OBSERVABILITY.md).
 
 pub mod config;
 pub mod cost;
 pub mod hugebuf;
 pub mod packet;
+pub mod trace;
 
 pub use config::IoConfig;
 pub use cost::{CostModel, LinuxBaseline};

@@ -1,0 +1,67 @@
+//! Batch-assembly trace events (the `io` category).
+//!
+//! The I/O engine's defining trick is batching (§4.2): workers fetch
+//! up to 64 RX descriptors per syscall-equivalent and hand whole
+//! batches down the pipeline. These helpers give that assembly a
+//! trace vocabulary — one span per assembled batch plus ring-depth
+//! counters — so a timeline shows how batch size breathes with load.
+//! The router calls them at the points where it already knows the
+//! batch boundaries; they never compute times of their own, so
+//! tracing cannot perturb the virtual clock.
+
+use ps_sim::time::Time;
+use ps_trace::{complete, counter, Category};
+
+/// One assembled RX batch: `n` frames totalling `bytes` frame bytes,
+/// fetched by worker `lane` over `[start, end]` (the span the worker
+/// spent pulling descriptors and prefetching payloads).
+pub fn trace_rx_batch(lane: u32, start: Time, end: Time, n: u64, bytes: u64) {
+    complete(Category::Io, "rx_batch", lane, start, end, || {
+        vec![("pkts", n), ("bytes", bytes)]
+    });
+}
+
+/// One completed TX batch: `n` frames totalling `bytes` frame bytes,
+/// queued to the NIC by worker `lane` over `[start, end]`.
+pub fn trace_tx_batch(lane: u32, start: Time, end: Time, n: u64, bytes: u64) {
+    complete(Category::Io, "tx_batch", lane, start, end, || {
+        vec![("pkts", n), ("bytes", bytes)]
+    });
+}
+
+/// Sample the RX ring occupancy for worker `lane` at `now`. Rendered
+/// as a counter track ("C" event) in the Chrome exporter.
+pub fn trace_ring_depth(lane: u32, now: Time, depth: u64) {
+    counter(Category::Io, "ring_depth", lane, now, depth);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_trace::{install, take, Collector, Phase, TraceConfig};
+
+    #[test]
+    fn helpers_emit_io_events() {
+        install(Collector::new(TraceConfig::all()));
+        trace_rx_batch(2, 100, 400, 16, 1024);
+        trace_tx_batch(2, 500, 600, 16, 1024);
+        trace_ring_depth(2, 450, 7);
+        let c = take().unwrap();
+        let (events, unmatched) = c.resolved();
+        assert_eq!(unmatched, 0);
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.cat == Category::Io));
+        assert_eq!(events[0].name, "rx_batch");
+        assert_eq!(events[0].dur(), 300);
+        assert!(matches!(events[1].phase, Phase::Counter { value: 7 }));
+        assert_eq!(events[2].name, "tx_batch");
+    }
+
+    #[test]
+    fn helpers_are_silent_without_a_tracer() {
+        assert!(take().is_none());
+        trace_rx_batch(0, 0, 10, 1, 60);
+        trace_ring_depth(0, 5, 1);
+        assert!(take().is_none());
+    }
+}

@@ -1,4 +1,4 @@
-//! DIR-24-8-BASIC (Gupta, Lin & McKeown, INFOCOM 1998 [22]).
+//! DIR-24-8-BASIC (Gupta, Lin & McKeown, INFOCOM 1998 \[22\]).
 //!
 //! * `TBL24`: 2²⁴ 16-bit entries indexed by the top 24 address bits.
 //!   High bit clear → the entry *is* the next hop. High bit set → the

@@ -6,11 +6,11 @@
 //! GPU (reading the image from device memory through a
 //! [`TableMem`] accessor that records the memory-access trace):
 //!
-//! * [`dir24`] — DIR-24-8-BASIC (Gupta, Lin, McKeown [22]): a 2²⁴-entry
+//! * [`dir24`] — DIR-24-8-BASIC (Gupta, Lin, McKeown \[22\]): a 2²⁴-entry
 //!   16-bit first table plus spill blocks; one memory access for
 //!   routes of /24 or shorter, two otherwise (§6.2.1).
 //! * [`waldvogel`] — binary search on prefix lengths (Waldvogel et
-//!   al. [55]) for IPv6: per-length hash tables with markers and
+//!   al. \[55\]) for IPv6: per-length hash tables with markers and
 //!   precomputed best-match prefixes; ⌈log₂ 128⌉ = 7 probes per
 //!   lookup (§6.2.2 "requires seven memory accesses").
 //!

@@ -1,5 +1,5 @@
 //! IPv6 longest-prefix match: binary search on prefix lengths
-//! (Waldvogel, Varghese, Turner & Plattner, SIGCOMM 1997 [55]).
+//! (Waldvogel, Varghese, Turner & Plattner, SIGCOMM 1997 \[55\]).
 //!
 //! One hash table per prefix length holds real prefixes and *markers*
 //! (truncated prefixes inserted along the binary-search path so the

@@ -69,6 +69,10 @@ pub const MAX_FRAME_LEN: usize = 1514;
 pub const WIRE_OVERHEAD: usize = 24;
 
 /// Bytes a frame of `len` occupies on the wire, for rate computations.
+/// `len` is an FCS-less frame length (the workspace convention, see
+/// [`MIN_FRAME_LEN`]), so adding [`WIRE_OVERHEAD`] — which includes
+/// the FCS — yields the true on-wire footprint: a minimum 60 B frame
+/// occupies 84 B of wire time.
 #[inline]
 pub fn wire_len(len: usize) -> usize {
     len + WIRE_OVERHEAD
@@ -82,6 +86,10 @@ mod tests {
     fn wire_len_adds_paper_overhead() {
         assert_eq!(wire_len(64), 88);
         assert_eq!(wire_len(1514), 1538);
+        // The FCS-exclusion convention: a minimum FCS-less frame
+        // (60 B) serializes as the standard 64 B minimum on-wire
+        // frame plus 8 B preamble + 12 B inter-frame gap.
+        assert_eq!(wire_len(MIN_FRAME_LEN), 64 + 8 + 12);
     }
 
     #[test]

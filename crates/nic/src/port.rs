@@ -45,11 +45,19 @@ pub struct Port {
 
 impl Port {
     /// A port at `line_rate_bits` (10 Gbps for the X520).
+    ///
+    /// Both wires are trace-labelled (`"wire.rx"` / `"wire.tx"`, lane
+    /// = port index): each serialized frame emits one `fabric` span
+    /// when that category is enabled.
     pub fn new(id: PortId, line_rate_bits: u64) -> Port {
+        let mut rx_wire = BandwidthServer::new(line_rate_bits, 0);
+        let mut tx_wire = BandwidthServer::new(line_rate_bits, 0);
+        rx_wire.set_trace("wire.rx", id.0 as u32);
+        tx_wire.set_trace("wire.tx", id.0 as u32);
         Port {
             id,
-            rx_wire: BandwidthServer::new(line_rate_bits, 0),
-            tx_wire: BandwidthServer::new(line_rate_bits, 0),
+            rx_wire,
+            tx_wire,
             rx: PacketCounter::default(),
             tx: PacketCounter::default(),
             rx_dropped: 0,

@@ -2,7 +2,7 @@
 //!
 //! The two flow tables of the OpenFlow 0.8.9r2 reference switch:
 //!
-//! * [`exact`] — the exact-match table: all ten [`FlowKey`] fields
+//! * [`exact`] — the exact-match table: all ten [`ps_net::FlowKey`] fields
 //!   hashed (FNV-1a, the hash the paper offloads to the GPU) into a
 //!   bucketed hash table;
 //! * [`wildcard`] — the wildcard table: per-field enable bits plus

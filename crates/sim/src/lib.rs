@@ -18,11 +18,14 @@
 //! expressed in virtual time, which keeps every experiment exactly
 //! reproducible.
 
+#![deny(missing_docs)]
+
 pub mod event;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace_summary;
 
 pub use event::{Scheduler, Simulation};
 pub use time::{Time, GIGA, KILO, MEGA, MICROS, MILLIS, SECONDS};

@@ -16,6 +16,11 @@ use crate::time::{transfer_ns, Time};
 /// `max(now, next_free) + overhead + bytes/rate`, and the server is
 /// busy until then. This is the classic M/G/1-style service abstraction
 /// used for every link in the simulated machine.
+///
+/// A server can carry a trace label ([`BandwidthServer::set_trace`]);
+/// labelled servers emit one `fabric`-category span per transaction
+/// when that category is enabled, covering exactly the service
+/// interval (queueing shows up as the gap before the span starts).
 #[derive(Debug, Clone)]
 pub struct BandwidthServer {
     /// Service rate in bits per second.
@@ -28,6 +33,10 @@ pub struct BandwidthServer {
     bytes_served: u64,
     /// Total busy time accumulated.
     busy: Time,
+    /// Trace span name; `None` keeps the server silent.
+    trace_name: Option<&'static str>,
+    /// Trace lane (instance index: IOH number, port number...).
+    trace_lane: u32,
 }
 
 impl BandwidthServer {
@@ -41,7 +50,16 @@ impl BandwidthServer {
             next_free: 0,
             bytes_served: 0,
             busy: 0,
+            trace_name: None,
+            trace_lane: 0,
         }
+    }
+
+    /// Label this server for tracing: `name` becomes the span name
+    /// (e.g. `"ioh.d2h"`, `"wire.rx"`), `lane` the instance index.
+    pub fn set_trace(&mut self, name: &'static str, lane: u32) {
+        self.trace_name = Some(name);
+        self.trace_lane = lane;
     }
 
     /// The configured rate in bits per second.
@@ -63,6 +81,16 @@ impl BandwidthServer {
         self.next_free = done;
         self.bytes_served += bytes;
         self.busy += service;
+        if let Some(name) = self.trace_name {
+            ps_trace::complete(
+                ps_trace::Category::Fabric,
+                name,
+                self.trace_lane,
+                start,
+                done,
+                || vec![("bytes", bytes), ("wait", start - now)],
+            );
+        }
         done
     }
 

@@ -44,7 +44,13 @@ impl PacketCounter {
 
     /// Throughput in Gbps over `window` using the paper's metric:
     /// each packet is charged `overhead_bytes` of Ethernet overhead
-    /// (24 B: FCS + preamble + inter-frame gap) on top of its frame.
+    /// on top of its frame. Frame lengths throughout the workspace
+    /// *exclude* the 4 B FCS (`ps-io` counts 60..=1514 B frames), so
+    /// the overhead that reconstructs on-wire bits is 24 B — 4 B FCS,
+    /// 8 B preamble/SFD and 12 B inter-frame gap
+    /// ([`ETHERNET_OVERHEAD_BYTES`]); a minimum 60 B frame then costs
+    /// 84 B of wire time — the standard 64 B minimum frame plus 20 B
+    /// of preamble and gap.
     pub fn gbps_with_overhead(&self, window: Time, overhead_bytes: u64) -> f64 {
         if window == 0 {
             return 0.0;
@@ -59,7 +65,12 @@ impl PacketCounter {
     }
 }
 
-/// Ethernet overhead per packet in the paper's throughput metric.
+/// Ethernet overhead per packet in the paper's throughput metric:
+/// 4 B FCS + 8 B preamble/SFD + 12 B inter-frame gap. Correct only
+/// because frame byte counts exclude the FCS (see
+/// [`PacketCounter::gbps_with_overhead`]); it matches `ps-net`'s
+/// `WIRE_OVERHEAD` and `wire_len`, which serialize frames onto the
+/// simulated wires with the same 24 B charge.
 pub const ETHERNET_OVERHEAD_BYTES: u64 = 24;
 
 /// Log-bucketed histogram for latency measurements.
@@ -237,6 +248,22 @@ mod tests {
         // Paper metric: (64+24)*8 bits per packet.
         let gbps = c.gbps_with_overhead(crate::time::MILLIS, ETHERNET_OVERHEAD_BYTES);
         assert!((gbps - 0.704).abs() < 1e-9, "gbps={gbps}");
+    }
+
+    #[test]
+    fn ethernet_overhead_reconstructs_wire_bits() {
+        // Frames exclude the FCS, so per-packet overhead is FCS +
+        // preamble/SFD + inter-frame gap. Pinned: if either side of
+        // this convention changes (frame sizing in ps-io/ps-net or
+        // this constant), throughput numbers silently shift.
+        assert_eq!(ETHERNET_OVERHEAD_BYTES, 4 + 8 + 12);
+        // A minimum FCS-less frame (60 B) occupies 84 B of wire time:
+        // the 64 B minimum on-wire frame plus 20 B preamble + gap.
+        let mut c = PacketCounter::default();
+        c.add(60);
+        // 84 B over 1 us = 672 Mbps.
+        let gbps = c.gbps_with_overhead(crate::time::MICROS, ETHERNET_OVERHEAD_BYTES);
+        assert!((gbps - 0.672).abs() < 1e-9, "{gbps}");
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! | [`pktgen`] | `ps-pktgen` | traffic generator / latency sink |
 //! | [`rng`] | `ps-rng` | deterministic RNG (SplitMix64 + xoshiro256**) |
 //! | [`check`] | `ps-check` | seeded property-testing harness |
+//! | [`trace`] | `ps-trace` | virtual-time pipeline tracing (see OBSERVABILITY.md) |
 //!
 //! ## Quickstart
 //!
@@ -68,3 +69,4 @@ pub use ps_openflow as openflow;
 pub use ps_pktgen as pktgen;
 pub use ps_rng as rng;
 pub use ps_sim as sim;
+pub use ps_trace as trace;

@@ -114,6 +114,43 @@ fn different_seeds_differ_ipsec_and_openflow() {
     );
 }
 
+/// Tracing must be a pure observer: running the exact same (config,
+/// app, seed) triple with a trace collector installed yields the same
+/// fingerprint as running untraced. A span that perturbed the virtual
+/// clock or consumed RNG draws would show up here immediately.
+#[test]
+fn tracing_does_not_perturb_results() {
+    use packetshader::trace::TraceConfig;
+    for cfg in [RouterConfig::paper_cpu(), RouterConfig::paper_gpu()] {
+        let untraced = fingerprint(cfg, 5);
+        let (traced, collector) =
+            ps_bench::trace::traced(TraceConfig::all(), || fingerprint(cfg, 5));
+        assert_eq!(untraced, traced, "tracing perturbed the simulation");
+        assert!(!collector.is_empty(), "tracer saw no events");
+    }
+}
+
+/// Identical seeds must replay to a byte-identical Chrome trace dump:
+/// the exporter's integer-only µs formatting plus the collector's
+/// stable (timestamp, emission-order) sort make the whole timeline —
+/// not just the report aggregates — part of the determinism contract.
+#[test]
+fn trace_dump_is_byte_identical_per_seed() {
+    use packetshader::trace::{chrome, TraceConfig};
+    let dump = |seed: u64| {
+        let (_, collector) = ps_bench::trace::traced(TraceConfig::all(), || {
+            fingerprint(RouterConfig::paper_gpu(), seed)
+        });
+        chrome::export(&collector)
+    };
+    assert_eq!(dump(5), dump(5), "same seed produced different trace bytes");
+    assert_ne!(
+        dump(5),
+        dump(6),
+        "different seeds produced identical traces"
+    );
+}
+
 #[test]
 fn minimal_app_deterministic_under_overload() {
     let run = || {

@@ -1,0 +1,206 @@
+//! Trace-layer correctness: span pairing under out-of-order emission,
+//! category gating, and the Chrome `trace_event` JSON round-trip —
+//! exercised both on a hand-built collector and on a real router run,
+//! as documented in OBSERVABILITY.md.
+
+use packetshader::core::apps::Ipv4App;
+use packetshader::core::{Router, RouterConfig};
+use packetshader::lookup::route::Route4;
+use packetshader::pktgen::TrafficSpec;
+use packetshader::sim::MILLIS;
+use packetshader::trace::{chrome, Category, Collector, Phase, TraceConfig};
+
+/// Nested begin/end spans resolve into complete spans whose intervals
+/// properly contain each other.
+#[test]
+fn spans_nest() {
+    let mut c = Collector::new(TraceConfig::all());
+    let outer = c.span_begin(Category::Stage, "outer", 0, 100);
+    let inner = c.span_begin(Category::Stage, "inner", 0, 150);
+    c.span_end(inner, 200, Vec::new());
+    c.span_end(outer, 300, Vec::new());
+
+    let (events, unmatched) = c.resolved();
+    assert_eq!(unmatched, 0);
+    assert_eq!(events.len(), 2);
+    // Timestamp order: outer (ts 100) first, inner (ts 150) second.
+    assert_eq!(events[0].name, "outer");
+    assert_eq!(events[1].name, "inner");
+    let (o, i) = (&events[0], &events[1]);
+    assert!(matches!(o.phase, Phase::Complete { dur: 200 }));
+    assert!(matches!(i.phase, Phase::Complete { dur: 50 }));
+    // Proper nesting: inner ⊂ outer.
+    assert!(o.ts <= i.ts && i.ts + i.dur() <= o.ts + o.dur());
+}
+
+/// Begin/end pairing is by span id, not emission position: ends
+/// arriving in the "wrong" order (a later-started span ending first,
+/// or interleaved lanes) still pair with their own begins.
+#[test]
+fn out_of_order_ends_pair_by_id() {
+    let mut c = Collector::new(TraceConfig::all());
+    let a = c.span_begin(Category::Gpu, "copy_h2d", 1, 100);
+    let b = c.span_begin(Category::Gpu, "kernel", 2, 120);
+    // `b` ends before `a` even though it began after.
+    c.span_end(b, 180, vec![("threads", 32)]);
+    c.span_end(a, 400, vec![("bytes", 4096)]);
+
+    let (events, unmatched) = c.resolved();
+    assert_eq!(unmatched, 0);
+    assert_eq!(events.len(), 2);
+    let copy = events.iter().find(|e| e.name == "copy_h2d").unwrap();
+    let kern = events.iter().find(|e| e.name == "kernel").unwrap();
+    assert_eq!((copy.ts, copy.dur()), (100, 300));
+    assert_eq!((kern.ts, kern.dur()), (120, 60));
+    // End args are attached to the resolved span.
+    assert_eq!(copy.args, vec![("bytes", 4096)]);
+    assert_eq!(kern.args, vec![("threads", 32)]);
+}
+
+/// A begin with no end is dropped from the resolved list and counted,
+/// never emitted as a half-span.
+#[test]
+fn unmatched_begin_is_dropped_and_counted() {
+    let mut c = Collector::new(TraceConfig::all());
+    let _leak = c.span_begin(Category::Stage, "never_ends", 0, 10);
+    c.complete(Category::Stage, "fine", 0, 20, 30, Vec::new());
+    let (events, unmatched) = c.resolved();
+    assert_eq!(unmatched, 1);
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].name, "fine");
+}
+
+/// Disabled categories emit nothing through any entry point, and a
+/// span begun under a disabled category yields a `None` id whose end
+/// is a no-op.
+#[test]
+fn disabled_categories_emit_nothing() {
+    let mut c = Collector::new(TraceConfig::categories(&[Category::Stage]));
+    c.complete(Category::Gpu, "kernel", 0, 0, 10, Vec::new());
+    c.counter(Category::Io, "ring_depth", 0, 5, 3);
+    c.instant(Category::Fabric, "marker", 0, 7, Vec::new());
+    let id = c.span_begin(Category::Gpu, "copy_h2d", 0, 0);
+    assert!(id.is_none());
+    c.span_end(id, 10, Vec::new());
+    assert!(c.is_empty());
+
+    // Enabled category still records.
+    c.complete(Category::Stage, "pre_shade", 0, 0, 10, Vec::new());
+    assert_eq!(c.len(), 1);
+}
+
+/// The global tracer honours the installed mask: a Stage-only
+/// collector sees none of the Gpu/Io/Fabric traffic a router run
+/// generates, and the lazy args closures of disabled categories are
+/// never invoked.
+#[test]
+fn global_tracer_respects_mask() {
+    use packetshader::trace as tr;
+    assert!(!tr::is_installed());
+    tr::install(Collector::new(TraceConfig::categories(&[Category::Stage])));
+    assert!(tr::enabled(Category::Stage));
+    assert!(!tr::enabled(Category::Gpu));
+    tr::complete(Category::Gpu, "kernel", 0, 0, 10, || {
+        panic!("args closure of a disabled category must not run")
+    });
+    tr::complete(Category::Stage, "pre_shade", 0, 0, 10, Vec::new);
+    let c = tr::take().unwrap();
+    assert_eq!(c.len(), 1);
+    assert_eq!(c.events().next().unwrap().name, "pre_shade");
+}
+
+fn traced_ipv4_run(gbps: f64, seed: u64) -> (Collector, u64) {
+    let window = MILLIS;
+    let routes = vec![Route4::new(0, 1, 0), Route4::new(0x8000_0000, 1, 4)];
+    let (_, collector) = ps_bench::trace::traced(TraceConfig::all(), || {
+        Router::run(
+            RouterConfig::paper_gpu(),
+            Ipv4App::new(&routes),
+            TrafficSpec::ipv4_64b(gbps, seed),
+            window,
+        )
+    });
+    (collector, window)
+}
+
+/// A real router run exports Chrome `trace_event` JSON that survives
+/// the round trip through the in-tree parser: every resolved event
+/// reappears with its timestamp, duration, and pid/tid mapping intact.
+#[test]
+fn chrome_json_round_trips_through_parser() {
+    let (collector, _) = traced_ipv4_run(10.0, 3);
+    let (events, unmatched) = collector.resolved();
+    assert_eq!(unmatched, 0);
+    assert!(!events.is_empty(), "router run produced no trace events");
+
+    let json = chrome::export(&collector);
+    let parsed = chrome::parse(&json).expect("exporter output must parse");
+    assert_eq!(chrome::parsed_dropped(&json), Some(0));
+
+    // Every non-metadata parsed event corresponds 1:1, in order, to a
+    // resolved event; the exporter's µs formatting is lossless at ns
+    // granularity.
+    let payload: Vec<_> = parsed.iter().filter(|p| p.ph != 'M').collect();
+    assert_eq!(payload.len(), events.len());
+    for (p, e) in payload.iter().zip(&events) {
+        assert_eq!(p.name, e.name);
+        assert_eq!(p.ts_ns, e.ts);
+        assert_eq!(p.pid, chrome::pid_of(e.cat));
+        assert_eq!(p.tid, e.lane);
+        match e.phase {
+            Phase::Complete { dur } => {
+                assert_eq!(p.ph, 'X');
+                assert_eq!(p.dur_ns, dur);
+            }
+            Phase::Counter { value } => {
+                assert_eq!(p.ph, 'C');
+                assert_eq!(p.value, Some(value));
+            }
+            Phase::Instant => assert_eq!(p.ph, 'i'),
+            Phase::Begin { .. } | Phase::End { .. } => {
+                panic!("resolved() must not leave raw begin/end events")
+            }
+        }
+    }
+}
+
+/// Acceptance shape from the issue: per-lane Stage spans tile the run
+/// exactly — on every lane, busy + idle equals the virtual run time,
+/// so the per-stage durations sum (with idle) to the window.
+#[test]
+fn stage_spans_tile_the_virtual_window() {
+    let (collector, window) = traced_ipv4_run(20.0, 3);
+    let (events, _) = collector.resolved();
+    let accounts = ps_bench::trace::stage_lane_accounting(&events, window);
+    assert!(!accounts.is_empty());
+    for acc in &accounts {
+        assert_eq!(
+            acc.busy + acc.idle,
+            window,
+            "lane {} does not tile the window",
+            acc.lane
+        );
+    }
+    // At 20 Gbps the workers are genuinely loaded: some lane spends
+    // a nontrivial share of the window busy.
+    assert!(accounts.iter().any(|a| a.busy > window / 10));
+}
+
+/// The flat metrics exporter aggregates the same events the Chrome
+/// exporter serializes: stage counts match between the two views.
+#[test]
+fn summary_agrees_with_chrome_export() {
+    let (collector, window) = traced_ipv4_run(10.0, 3);
+    let summary = packetshader::sim::trace_summary::summarize_collector(&collector, window);
+
+    let json = chrome::export(&collector);
+    let parsed = chrome::parse(&json).unwrap();
+    let chrome_pre = parsed
+        .iter()
+        .filter(|p| p.ph == 'X' && p.name == "pre_shade")
+        .count() as u64;
+    let stat = summary.stage("pre_shade").expect("pre_shade stat");
+    assert_eq!(stat.count, chrome_pre);
+    assert!(stat.total_ns > 0);
+    assert_eq!(stat.hist.count(), stat.count);
+}
