@@ -5,6 +5,7 @@
 //! simulation and prints paper-vs-measured rows. The `ps-bench` binary
 //! dispatches to these; integration tests assert the shapes.
 
+pub mod baseline;
 pub mod experiments;
 pub mod runner;
 pub mod trace;

@@ -10,6 +10,8 @@
 //! ps-bench ablate-gather ablate-streams ablate-opportunistic
 //! ps-bench trace-breakdown
 //! ps-bench --trace-out t.json fig6   # also dump the virtual-time trace
+//! ps-bench --baseline [out.json]     # record wall-clock ns/pkt snapshot
+//! ps-bench --compare [base.json]     # fail on wall-clock regressions
 //! ```
 //!
 //! `PS_BENCH_MS` sets the virtual milliseconds per throughput run
@@ -23,6 +25,29 @@ use ps_bench::timed;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Wall-clock regression harness: exclusive modes, no tracing
+    // (a collector would perturb the very numbers being recorded).
+    if let Some(i) = args.iter().position(|a| a == "--baseline") {
+        let path = args.get(i + 1).cloned();
+        let path = path.as_deref().unwrap_or("BENCH_baseline.json");
+        if let Err(e) = ps_bench::baseline::write_baseline(path) {
+            eprintln!("ps-bench: baseline failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--compare") {
+        let path = args.get(i + 1).cloned();
+        let path = path.as_deref().unwrap_or("BENCH_baseline.json");
+        match ps_bench::baseline::compare(path) {
+            Ok(0) => return,
+            Ok(_) => std::process::exit(1),
+            Err(e) => {
+                eprintln!("ps-bench: compare failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let mut trace_out = None;
     if let Some(i) = args.iter().position(|a| a == "--trace-out") {
         if i + 1 >= args.len() {
@@ -34,6 +59,7 @@ fn main() {
     }
     if args.is_empty() {
         eprintln!("usage: ps-bench [--trace-out t.json] <experiment>...   (or: ps-bench all)");
+        eprintln!("       ps-bench --baseline [out.json] | --compare [base.json]");
         eprintln!("experiments: spec table1 launch fig2 table3 fig5 fig6 numa");
         eprintln!("             fig11a fig11b fig11c fig11d fig12");
         eprintln!("             ablate-gather ablate-streams ablate-opportunistic");

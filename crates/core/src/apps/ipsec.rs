@@ -38,6 +38,18 @@ struct NodeGpu {
     block_info: DeviceBuffer,
 }
 
+/// Per-launch gather/scatter staging, reused across launches so the
+/// steady state allocates nothing: `clear()` keeps capacity, and the
+/// buffers grow only until the largest batch has been seen.
+#[derive(Default)]
+struct Staging {
+    packed: Vec<u8>,
+    params: Vec<u8>,
+    block_info: Vec<u8>,
+    slots: Vec<(usize, usize, usize)>,
+    out: Vec<u8>,
+}
+
 /// The IPsec tunnel gateway.
 pub struct IpsecApp {
     sa: SecurityAssociation,
@@ -47,6 +59,7 @@ pub struct IpsecApp {
     tunnel_src: Ipv4Addr,
     tunnel_dst: Ipv4Addr,
     gpu: Vec<Option<NodeGpu>>,
+    stage: Staging,
     /// Packets encrypted (for reports).
     pub encrypted: u64,
 }
@@ -62,6 +75,7 @@ impl IpsecApp {
             tunnel_src: Ipv4Addr::new(192, 0, 2, 1),
             tunnel_dst: Ipv4Addr::new(198, 51, 100, 1),
             gpu: Vec::new(),
+            stage: Staging::default(),
             encrypted: 0,
         }
     }
@@ -162,11 +176,14 @@ impl App for IpsecApp {
 
         // Build the packed plaintext regions + per-packet params +
         // per-block map. Framing (padding, trailer, SPI/seq) happens
-        // here on the CPU; the GPU does the crypto.
-        let mut packed: Vec<u8> = Vec::new();
-        let mut params = vec![0u8; n * 16];
-        let mut block_info: Vec<u8> = Vec::new();
-        let mut slots = Vec::with_capacity(n);
+        // here on the CPU; the GPU does the crypto. The staging
+        // buffers are struct fields reused across launches.
+        let mut st = std::mem::take(&mut self.stage);
+        st.packed.clear();
+        st.block_info.clear();
+        st.slots.clear();
+        st.params.clear();
+        st.params.resize(n * 16, 0);
         for (i, p) in pkts[..n].iter().enumerate() {
             let inner = &p.data[ETH_LEN..];
             let seq = self.sa.seq;
@@ -174,11 +191,11 @@ impl App for IpsecApp {
             let iv = SecurityAssociation::iv_for_seq(seq);
             let ct_len = espfmt::ciphertext_len(inner.len());
             let total = espfmt::total_len(inner.len());
-            let base = packed.len();
+            let base = st.packed.len();
             debug_assert_eq!(base % 16, 0);
-            packed.resize(base + total, 0);
+            st.packed.resize(base + total, 0);
             {
-                let region = &mut packed[base..base + total];
+                let region = &mut st.packed[base..base + total];
                 region[0..4].copy_from_slice(&self.sa.spi.to_be_bytes());
                 region[4..8].copy_from_slice(&seq.to_be_bytes());
                 region[8..16].copy_from_slice(&iv);
@@ -195,29 +212,35 @@ impl App for IpsecApp {
                 ct[ct_len - 1] = 4; // next header: IPv4-in-ESP
             }
             // Pad the region to 16 B so the next base stays aligned.
-            let padded = packed.len().div_ceil(16) * 16;
-            packed.resize(padded, 0);
+            let padded = st.packed.len().div_ceil(16) * 16;
+            st.packed.resize(padded, 0);
 
-            params[i * 16..i * 16 + 4].copy_from_slice(&(base as u32).to_le_bytes());
-            params[i * 16 + 4..i * 16 + 8].copy_from_slice(&(ct_len as u32).to_le_bytes());
-            params[i * 16 + 8..i * 16 + 16].copy_from_slice(&iv);
+            st.params[i * 16..i * 16 + 4].copy_from_slice(&(base as u32).to_le_bytes());
+            st.params[i * 16 + 4..i * 16 + 8].copy_from_slice(&(ct_len as u32).to_le_bytes());
+            st.params[i * 16 + 8..i * 16 + 16].copy_from_slice(&iv);
             for blk in 0..(ct_len / 16) as u32 {
-                block_info.extend_from_slice(&((i as u32) << 8 | blk).to_le_bytes());
+                st.block_info
+                    .extend_from_slice(&((i as u32) << 8 | blk).to_le_bytes());
             }
-            slots.push((base, ct_len, total));
+            st.slots.push((base, ct_len, total));
         }
-        assert!(packed.len() <= MAX_GATHER_BYTES, "gather exceeds staging");
-        let n_blocks = (block_info.len() / 4) as u32;
+        assert!(
+            st.packed.len() <= MAX_GATHER_BYTES,
+            "gather exceeds staging"
+        );
+        let n_blocks = (st.block_info.len() / 4) as u32;
 
         // Copy-in: payload, params, block map (pipelined copies).
-        let c1 = eng.copy_h2d(ready, ioh, &payload_buf, 0, &packed);
-        let c2 = eng.copy_h2d(ready, ioh, &params_buf, 0, &params);
-        let c3 = eng.copy_h2d(ready, ioh, &info_buf, 0, &block_info);
+        let c1 = eng.copy_h2d(ready, ioh, &payload_buf, 0, &st.packed);
+        let c2 = eng.copy_h2d(ready, ioh, &params_buf, 0, &st.params);
+        let c3 = eng.copy_h2d(ready, ioh, &info_buf, 0, &st.block_info);
         let inputs_ready = c1.max(c2).max(c3);
 
         // Encrypt-then-MAC: the engine serializes the two kernels.
+        // Both borrow the SA's cached contexts — the key schedule and
+        // HMAC pads were expanded once at SA creation, not per launch.
         let aes = IpsecAesKernel {
-            aes: ps_crypto::aes::Aes128::new(&self.aes_key),
+            aes: self.sa.cipher(),
             nonce: self.nonce,
             payload: payload_buf,
             block_info: info_buf,
@@ -226,7 +249,7 @@ impl App for IpsecApp {
         };
         let (aes_done, _) = eng.launch(inputs_ready, &aes, n_blocks);
         let hmac = IpsecHmacKernel {
-            hmac: ps_crypto::hmac::HmacSha1::new(&self.hmac_key),
+            hmac: self.sa.hmac(),
             payload: payload_buf,
             params: params_buf,
             n: n as u32,
@@ -234,15 +257,18 @@ impl App for IpsecApp {
         let (hmac_done, _) = eng.launch(aes_done, &hmac, n as u32);
 
         // Copy-out the whole packed buffer.
-        let mut out = vec![0u8; packed.len()];
-        let done = eng.copy_d2h(ready, hmac_done, ioh, &payload_buf, 0, &mut out);
+        st.out.clear();
+        st.out.resize(st.packed.len(), 0);
+        let done = eng.copy_d2h(ready, hmac_done, ioh, &payload_buf, 0, &mut st.out);
 
-        for (p, &(base, _ct, total)) in pkts[..n].iter_mut().zip(&slots) {
-            let esp = &out[base..base + total];
+        for (i, p) in pkts[..n].iter_mut().enumerate() {
+            let (base, _ct, total) = st.slots[i];
+            let esp = &st.out[base..base + total];
             p.data = self.outer_frame(esp);
             p.out_port = Some(Self::out_port(p.in_port));
             self.encrypted += 1;
         }
+        self.stage = st;
         done
     }
 

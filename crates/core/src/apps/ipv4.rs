@@ -43,6 +43,11 @@ pub struct Ipv4App {
     /// double-buffering direction: the upload rides the normal copy
     /// engine, so the data path keeps flowing).
     dirty: Vec<bool>,
+    /// Reused gather staging (destination addresses), zero-alloc in
+    /// steady state.
+    staged: Vec<u8>,
+    /// Reused scatter buffer (next hops).
+    hops: Vec<u8>,
     /// Lookups performed (for reports).
     pub lookups: u64,
 }
@@ -55,6 +60,8 @@ impl Ipv4App {
             local: Vec::new(),
             gpu: Vec::new(),
             dirty: Vec::new(),
+            staged: Vec::new(),
+            hops: Vec::new(),
             lookups: 0,
         }
     }
@@ -155,13 +162,14 @@ impl App for Ipv4App {
         // update or double buffering").
         let mut ready = ready;
         if self.dirty.get(node).copied().unwrap_or(false) {
-            let image = self.table.image().to_vec();
-            ready = eng.copy_h2d(ready, ioh, &table, 0, &image);
+            ready = eng.copy_h2d(ready, ioh, &table, 0, self.table.image());
             self.dirty[node] = false;
         }
         // Stage destination addresses (pre-shading built this array;
-        // the copy models the host->device transfer of it).
-        let mut staged = Vec::with_capacity(n * 4);
+        // the copy models the host->device transfer of it). The
+        // staging buffers are reused across launches.
+        let mut staged = std::mem::take(&mut self.staged);
+        staged.clear();
         for p in &pkts[..n] {
             let ip = Ipv4Packet::new_unchecked(&p.data[ETH_LEN..]);
             staged.extend_from_slice(&u32::from(ip.dst()).to_le_bytes());
@@ -175,13 +183,17 @@ impl App for Ipv4App {
             n: n as u32,
         };
         let (kdone, _) = eng.launch(h2d, &kernel, n as u32);
-        let mut hops = vec![0u8; n * 2];
+        let mut hops = std::mem::take(&mut self.hops);
+        hops.clear();
+        hops.resize(n * 2, 0);
         let done = eng.copy_d2h(ready, kdone, ioh, &output, 0, &mut hops);
         for (i, p) in pkts[..n].iter_mut().enumerate() {
             let hop = u16::from_le_bytes([hops[i * 2], hops[i * 2 + 1]]);
             self.lookups += 1;
             p.out_port = (hop != NO_ROUTE).then_some(PortId(hop));
         }
+        self.staged = staged;
+        self.hops = hops;
         done
     }
 }

@@ -35,6 +35,11 @@ struct NodeGpu {
 pub struct Ipv6App {
     table: V6Table,
     gpu: Vec<Option<NodeGpu>>,
+    /// Reused gather staging (destination addresses), zero-alloc in
+    /// steady state.
+    staged: Vec<u8>,
+    /// Reused scatter buffer (next hops).
+    hops: Vec<u8>,
     /// Lookups performed.
     pub lookups: u64,
 }
@@ -45,6 +50,8 @@ impl Ipv6App {
         Ipv6App {
             table: V6Table::build(routes),
             gpu: Vec::new(),
+            staged: Vec::new(),
+            hops: Vec::new(),
             lookups: 0,
         }
     }
@@ -129,7 +136,9 @@ impl App for Ipv6App {
         let n = pkts.len().min(MAX_GATHER);
         let g = self.gpu[node].as_ref().expect("setup_gpu ran");
         let (table, input, output) = (g.table, g.input, g.output);
-        let mut staged = Vec::with_capacity(n * 16);
+        // Reused staging buffers: zero-alloc in steady state.
+        let mut staged = std::mem::take(&mut self.staged);
+        staged.clear();
         for p in &pkts[..n] {
             let ip = Ipv6Packet::new_unchecked(&p.data[ETH_LEN..]);
             staged.extend_from_slice(&ip.dst().octets());
@@ -143,13 +152,17 @@ impl App for Ipv6App {
             n: n as u32,
         };
         let (kdone, _) = eng.launch(h2d, &kernel, n as u32);
-        let mut hops = vec![0u8; n * 2];
+        let mut hops = std::mem::take(&mut self.hops);
+        hops.clear();
+        hops.resize(n * 2, 0);
         let done = eng.copy_d2h(ready, kdone, ioh, &output, 0, &mut hops);
         for (i, p) in pkts[..n].iter_mut().enumerate() {
             let hop = u16::from_le_bytes([hops[i * 2], hops[i * 2 + 1]]);
             self.lookups += 1;
             p.out_port = (hop != NO_ROUTE).then_some(PortId(hop));
         }
+        self.staged = staged;
+        self.hops = hops;
         done
     }
 }

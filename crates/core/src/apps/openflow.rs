@@ -48,6 +48,11 @@ pub struct OpenFlowApp {
     /// The switch state (public so experiments can install flows).
     pub switch: OpenFlowSwitch,
     gpu: Vec<Option<NodeGpu>>,
+    /// Reused gather staging (packed flow keys), zero-alloc in steady
+    /// state.
+    staged: Vec<u8>,
+    /// Reused scatter buffer (hash + action + scan count).
+    out: Vec<u8>,
 }
 
 impl OpenFlowApp {
@@ -56,6 +61,8 @@ impl OpenFlowApp {
         OpenFlowApp {
             switch,
             gpu: Vec::new(),
+            staged: Vec::new(),
+            out: Vec::new(),
         }
     }
 
@@ -141,7 +148,10 @@ impl App for OpenFlowApp {
         let g = self.gpu[node].as_ref().expect("setup_gpu ran");
         let (wildcard, n_wildcard, input, output) = (g.wildcard, g.n_wildcard, g.input, g.output);
         let shared_image = g.shared_image.clone();
-        let mut staged = vec![0u8; n * 32];
+        // Reused staging buffers: zero-alloc in steady state.
+        let mut staged = std::mem::take(&mut self.staged);
+        staged.clear();
+        staged.resize(n * 32, 0);
         for (i, p) in pkts[..n].iter().enumerate() {
             let key = FlowKey::extract(p.in_port.0, &p.data).expect("pre-shaded");
             staged[i * 32..i * 32 + 31].copy_from_slice(&key.to_bytes());
@@ -156,7 +166,9 @@ impl App for OpenFlowApp {
             n: n as u32,
         };
         let (kdone, _) = eng.launch(h2d, &kernel, n as u32);
-        let mut out = vec![0u8; n * 8];
+        let mut out = std::mem::take(&mut self.out);
+        out.clear();
+        out.resize(n * 8, 0);
         let done = eng.copy_d2h(ready, kdone, ioh, &output, 0, &mut out);
 
         // Result application: exact-match resolution with the
@@ -181,6 +193,8 @@ impl App for OpenFlowApp {
             };
             self.apply(p, action);
         }
+        self.staged = staged;
+        self.out = out;
         done
     }
 

@@ -214,10 +214,11 @@ pub struct EspSlot {
 /// AES-128-CTR at AES-block granularity: one thread per 16 B block
 /// (§6.2.4 "we chop packets into AES blocks (16B) and map each block
 /// to one GPU thread").
-pub struct IpsecAesKernel {
+pub struct IpsecAesKernel<'a> {
     /// The block cipher (round keys live in shared memory on a real
-    /// GPU; functional state here).
-    pub aes: Aes128,
+    /// GPU; functional state here). Borrowed from the SA so the key
+    /// schedule is expanded once, not per launch.
+    pub aes: &'a Aes128,
     /// The SA's CTR nonce.
     pub nonce: u32,
     /// Packed ESP regions.
@@ -230,7 +231,7 @@ pub struct IpsecAesKernel {
     pub n_blocks: u32,
 }
 
-impl Kernel for IpsecAesKernel {
+impl Kernel for IpsecAesKernel<'_> {
     fn name(&self) -> &str {
         "ipsec-aes-ctr"
     }
@@ -265,9 +266,9 @@ impl Kernel for IpsecAesKernel {
 /// the SHA1 block level due to data dependency; we parallelize SHA1
 /// at the packet level", §6.2.4). Must run *after* the AES kernel —
 /// ESP is encrypt-then-MAC.
-pub struct IpsecHmacKernel {
-    /// Keyed HMAC context.
-    pub hmac: HmacSha1,
+pub struct IpsecHmacKernel<'a> {
+    /// Keyed HMAC context (pads precomputed once per SA).
+    pub hmac: &'a HmacSha1,
     /// Packed ESP regions (already encrypted).
     pub payload: DeviceBuffer,
     /// Per-packet slots (same layout as the AES kernel's).
@@ -276,7 +277,7 @@ pub struct IpsecHmacKernel {
     pub n: u32,
 }
 
-impl Kernel for IpsecHmacKernel {
+impl Kernel for IpsecHmacKernel<'_> {
     fn name(&self) -> &str {
         "ipsec-hmac-sha1"
     }
@@ -290,17 +291,18 @@ impl Kernel for IpsecHmacKernel {
         let ct_len = u32::from_le_bytes([p[4], p[5], p[6], p[7]]) as usize;
         let auth_len = 16 + ct_len; // SPI+seq+IV+ciphertext
 
-        // Stream the authenticated region in 64 B reads.
-        let mut data = Vec::with_capacity(auth_len);
+        // Stream the authenticated region in 64 B reads, feeding the
+        // MAC incrementally: no per-thread gather buffer.
+        let mut inner = self.hmac.begin();
         let mut off = base;
         let mut left = auth_len;
         while left >= 64 {
-            data.extend_from_slice(&ctx.read::<64>(&self.payload, off));
+            inner.update(&ctx.read::<64>(&self.payload, off));
             off += 64;
             left -= 64;
         }
         while left >= 16 {
-            data.extend_from_slice(&ctx.read::<16>(&self.payload, off));
+            inner.update(&ctx.read::<16>(&self.payload, off));
             off += 16;
             left -= 16;
         }
@@ -310,7 +312,7 @@ impl Kernel for IpsecHmacKernel {
         let comps = ps_crypto::sha1::hmac_compressions(auth_len) as u32;
         ctx.shared(comps * 400);
 
-        let icv = self.hmac.mac96(&data);
+        let icv = self.hmac.finish96(inner);
         ctx.write(&self.payload, base + auth_len, &icv);
     }
 }

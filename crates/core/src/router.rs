@@ -36,6 +36,9 @@ const MASTER_CYCLES_PER_CHUNK: u64 = 300;
 /// exceeds this, the NIC has run out of posted descriptors and drops
 /// in its internal FIFO *before* spending any DMA bandwidth.
 const RX_ADMIT_BACKLOG: Time = 20 * MICROS;
+/// Upper bound on the recycled frame-buffer / event-box pools; keeps
+/// a pathological burst from pinning memory forever.
+const POOL_CAP: usize = 8192;
 
 /// Router events.
 #[derive(Debug)]
@@ -165,6 +168,15 @@ pub struct Router<A: App> {
     shade_packets: u64,
     rx_batches: u64,
     rx_packets: u64,
+    /// Recycled frame buffers: delivered and tail-dropped packets
+    /// return their `data` allocation here, and the generator
+    /// materializes new frames into them — the steady state allocates
+    /// no per-packet buffers.
+    free_bufs: Vec<Vec<u8>>,
+    /// Recycled event boxes for [`Ev::RxReady`] / [`Ev::TxDone`] —
+    /// the `Box` allocations themselves are the pooled resource.
+    #[allow(clippy::vec_box)]
+    free_boxes: Vec<Box<Packet>>,
 }
 
 impl<A: App> Router<A> {
@@ -243,7 +255,36 @@ impl<A: App> Router<A> {
             shade_packets: 0,
             rx_batches: 0,
             rx_packets: 0,
+            free_bufs: Vec::new(),
+            free_boxes: Vec::new(),
         }
+    }
+
+    /// Return a frame buffer to the recycling pool.
+    fn reclaim_buf(&mut self, buf: Vec<u8>) {
+        if self.free_bufs.len() < POOL_CAP {
+            self.free_bufs.push(buf);
+        }
+    }
+
+    /// Box `p` for an event, reusing a recycled box when available.
+    fn event_box(&mut self, p: Packet) -> Box<Packet> {
+        match self.free_boxes.pop() {
+            Some(mut b) => {
+                *b = p;
+                b
+            }
+            None => Box::new(p),
+        }
+    }
+
+    /// Take the packet out of an event box and recycle the box.
+    fn event_unbox(&mut self, mut b: Box<Packet>) -> Packet {
+        let p = std::mem::replace(&mut *b, Packet::new(0, Vec::new(), PortId(0), 0));
+        if self.free_boxes.len() < POOL_CAP {
+            self.free_boxes.push(b);
+        }
+        p
     }
 
     /// Convenience: run a configured router for `duration` and report.
@@ -306,20 +347,16 @@ impl<A: App> Router<A> {
         (port.0 / self.cfg.ports_per_node()) as usize
     }
 
-    fn node_workers(&self, node: usize) -> std::ops::Range<usize> {
-        let w = self.cfg.workers_per_node;
-        node * w..(node + 1) * w
-    }
-
-    /// RSS: pick the worker for a packet (§4.4 flow affinity; §4.5
+    /// RSS: pick the worker for a flow hash (§4.4 flow affinity; §4.5
     /// same-node restriction under NUMA-aware placement).
-    fn rss_worker(&self, pkt: &Packet) -> usize {
-        let hash = rss_hash(&pkt.data);
-        let candidates: Vec<usize> = match self.cfg.io.placement {
-            Placement::NumaAware => self.node_workers(self.node_of_port(pkt.in_port)).collect(),
-            Placement::NumaBlind => (0..self.cfg.total_workers()).collect(),
-        };
-        candidates[hash as usize % candidates.len()]
+    fn worker_for_hash(&self, hash: u32, in_port: PortId) -> usize {
+        match self.cfg.io.placement {
+            Placement::NumaAware => {
+                let w = self.cfg.workers_per_node;
+                self.node_of_port(in_port) * w + hash as usize % w
+            }
+            Placement::NumaBlind => hash as usize % self.cfg.total_workers(),
+        }
     }
 
     fn cycles_ns(&self, cycles: u64) -> Time {
@@ -364,54 +401,81 @@ impl<A: App> Router<A> {
     }
 
     fn on_gen(&mut self, sched: &mut Scheduler<Ev>) {
-        let (t, pkt) = self.gen.next_packet();
-        debug_assert_eq!(t, sched.now());
-        if t >= self.measure_from {
-            self.offered.add(pkt.len() as u64);
-        }
+        let (meta, node, wire_done) = loop {
+            let meta = self.gen.next_meta();
+            debug_assert!(meta.t >= sched.now());
+            if meta.t >= self.measure_from {
+                self.offered.add(meta.len as u64);
+            }
 
-        // Wire serialization into the NIC, then RX DMA through the
-        // node's IOH into the huge packet buffer.
-        let len = pkt.len();
-        let port = pkt.in_port;
-        let node = self.node_of_port(port);
-        let wire_done = self.ports[port.0 as usize].rx_arrival(t, len);
-        // Descriptor starvation: drop in the NIC before the DMA if
-        // the IOH's inbound backlog is past the posted-descriptor
-        // horizon (dropped frames must not consume fabric bandwidth).
-        if self.iohs[node].backlog(wire_done, Direction::DeviceToHost) > RX_ADMIT_BACKLOG {
+            // Wire serialization into the NIC, then RX DMA through the
+            // node's IOH into the huge packet buffer. The frame itself
+            // is built only if the NIC admits it.
+            let node = self.node_of_port(meta.port);
+            let wire_done = self.ports[meta.port.0 as usize].rx_arrival(meta.t, meta.len);
+            // Descriptor starvation: drop in the NIC before the DMA if
+            // the IOH's inbound backlog is past the posted-descriptor
+            // horizon (dropped frames must not consume fabric
+            // bandwidth).
+            if self.iohs[node].backlog(wire_done, Direction::DeviceToHost) <= RX_ADMIT_BACKLOG {
+                break (meta, node, wire_done);
+            }
             self.nic_drops += 1;
             let next = self.gen_peek_next();
-            if next < self.stop_at {
-                sched.at(next, Ev::Gen);
+            if next >= self.stop_at {
+                return;
             }
+            // The drop verdict reads only generator, RX-wire, and
+            // inbound-IOH state, all mutated exclusively here — so
+            // while the next arrival strictly precedes every other
+            // pending event (which could advance the IOH's shared
+            // capacity horizon), consecutive drops drain in this loop
+            // instead of paying one scheduler round-trip each.
+            if sched.peek_time().is_none_or(|t| next < t) {
+                continue;
+            }
+            sched.at(next, Ev::Gen);
             return;
-        }
+        };
+        let len = meta.len;
         let mut dma_done = self.iohs[node].dma(wire_done, Direction::DeviceToHost, dma_bytes(len));
+        let mut crossed = false;
         if self.cfg.io.placement == Placement::NumaBlind && self.cfg.nodes > 1 {
             // Blind placement: ~3/4 of packets touch a remote
             // structure (blind RSS x blind buffer allocation, see
             // `Placement::remote_fraction`), so their DMA crosses the
             // other IOH too.
-            if pkt.id % 4 != 0 {
+            if meta.id % 4 != 0 {
                 let other = (node + 1) % self.cfg.nodes;
                 dma_done = dma_done.max(self.iohs[other].dma(
                     wire_done,
                     Direction::DeviceToHost,
                     dma_bytes(len),
                 ));
+                crossed = true;
             }
         }
-        let worker = self.rss_worker(&pkt);
-        let mut p = pkt;
+        // The NIC hashes the tuple it is already holding; parsing it
+        // back out of the frame bytes would give the same value
+        // (pinned by `meta_hash_matches_frame_parse`).
+        let worker = self.worker_for_hash(meta.rss_hash(), meta.port);
+        let buf = self.free_bufs.pop().unwrap_or_default();
+        let mut p = self.gen.materialize_into(&meta, buf);
         p.arrival = dma_done;
-        sched.at(
-            dma_done,
-            Ev::RxReady {
-                worker,
-                pkt: Box::new(p),
-            },
-        );
+        let pkt = self.event_box(p);
+        let ev = Ev::RxReady { worker, pkt };
+        if crossed {
+            // A node's crossing packets finish at the max of *two*
+            // IOH horizons while its local-only packets track one, so
+            // the interleaved per-node stream is not monotone — those
+            // completions take the heap.
+            sched.at(dma_done, ev);
+        } else {
+            // Local-only RX completions come out of the node IOH's
+            // bandwidth server in nondecreasing order: a FIFO lane
+            // spares the heap.
+            sched.at_fifo(node, dma_done, ev);
+        }
 
         // Next arrival (open loop) until the generation window ends.
         let next = self.gen_peek_next();
@@ -430,9 +494,11 @@ impl<A: App> Router<A> {
         self.gen.next_time()
     }
 
-    fn on_rx_ready(&mut self, sched: &mut Scheduler<Ev>, worker: usize, pkt: Packet) {
+    fn on_rx_ready(&mut self, sched: &mut Scheduler<Ev>, worker: usize, pkt: Box<Packet>) {
         let now = sched.now();
-        if self.rings[worker].push(pkt).is_err() {
+        let pkt = self.event_unbox(pkt);
+        if let Err(p) = self.rings[worker].push(pkt) {
+            self.reclaim_buf(p.data);
             return; // tail drop, counted by the ring
         }
         ps_io::trace::trace_ring_depth(worker as u32, now, self.rings[worker].len() as u64);
@@ -611,7 +677,14 @@ impl<A: App> Router<A> {
                 ));
             }
             let wire_done = self.ports[out.0 as usize].tx_frame(dma_done, p.len());
-            sched.at(wire_done, Ev::TxDone { pkt: Box::new(p) });
+            let pkt = self.event_box(p);
+            // Per-port TX completions serialize onto the wire in
+            // nondecreasing order; lanes sit above the RX-node lanes.
+            sched.at_fifo(
+                self.cfg.nodes + out.0 as usize,
+                wire_done,
+                Ev::TxDone { pkt },
+            );
         }
         self.wake_worker(sched, w, t2);
     }
@@ -674,11 +747,12 @@ impl<A: App> Router<A> {
             || vec![("pkts", n)],
         );
 
-        // Scatter results back to per-worker output queues.
-        let mut off = 0;
+        // Scatter results back to per-worker output queues, moving
+        // the packets out of the gathered batch — no per-packet
+        // clones of the frame data.
+        let mut rest = all.into_iter();
         for (worker, len, fetched_at) in splits {
-            let pkts: Vec<Packet> = all[off..off + len].to_vec();
-            off += len;
+            let pkts: Vec<Packet> = rest.by_ref().take(len).collect();
             let chunk = Chunk::new(worker, pkts, fetched_at);
             self.workers[worker].done_queue.push_back((done, chunk));
             self.wake_worker(sched, worker, done);
@@ -705,7 +779,7 @@ impl<A: App> Model for Router<A> {
     fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
         match ev {
             Ev::Gen => self.on_gen(sched),
-            Ev::RxReady { worker, pkt } => self.on_rx_ready(sched, worker, *pkt),
+            Ev::RxReady { worker, pkt } => self.on_rx_ready(sched, worker, pkt),
             Ev::WorkerLoop { worker } => self.on_worker_loop(sched, worker),
             Ev::MasterLoop { node } => self.on_master_loop(sched, node),
             Ev::TxDone { pkt } => {
@@ -713,6 +787,8 @@ impl<A: App> Model for Router<A> {
                 if now >= self.measure_from {
                     self.sink.deliver(now, &pkt);
                 }
+                let p = self.event_unbox(pkt);
+                self.reclaim_buf(p.data);
             }
         }
     }
@@ -873,6 +949,32 @@ mod tests {
             (10 * MICROS..SECONDS).contains(&p50),
             "p50 latency {p50} ns"
         );
+    }
+
+    #[test]
+    fn meta_hash_matches_frame_parse() {
+        use ps_pktgen::TrafficKind;
+        for kind in [TrafficKind::Ipv4Udp, TrafficKind::Ipv6Udp] {
+            for flows in [None, Some(8)] {
+                let mut g = Generator::new(TrafficSpec {
+                    kind,
+                    frame_len: 64,
+                    offered_bits: 1_000_000_000,
+                    ports: 4,
+                    seed: 9,
+                    flows,
+                });
+                for _ in 0..200 {
+                    let meta = g.next_meta();
+                    let p = g.materialize_into(&meta, Vec::new());
+                    assert_eq!(
+                        meta.rss_hash(),
+                        rss_hash(&p.data),
+                        "kind {kind:?} flows {flows:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,10 +1,26 @@
 //! AES-128 block cipher (FIPS-197) and CTR mode (RFC 3686 framing).
 //!
-//! A straightforward byte-oriented implementation: the S-box and the
-//! xtime multiply, no T-tables. Clarity and auditability over raw
-//! speed — the simulated router charges virtual time from the cost
-//! model, and the wall-clock benches measure this code as an honest
-//! baseline.
+//! Three implementations, one contract:
+//!
+//! * The **AES-NI path** — `aesenc`-based block encryption and an
+//!   eight-block CTR keystream, selected at runtime when the CPU has
+//!   the instructions (the paper's "highly optimized AES … using
+//!   SSE", §6.2.4). This is what the router and the ESP transforms
+//!   run on capable hardware.
+//! * The **T-table path** — four const-evaluated 1 KiB T-tables
+//!   (S-box and MixColumns fused into 32-bit lookups, the classic
+//!   software construction) with a four-block CTR routine for
+//!   instruction-level parallelism; the portable fast path.
+//! * The **oracle** ([`oracle`]) — the original byte-oriented
+//!   implementation (S-box + `xtime`, no tables), kept verbatim as
+//!   the reference the fast path is tested against, block by block
+//!   and keystream by keystream.
+//!
+//! Virtual-time costs come from the simulator's cost model, so the
+//! fast path changes wall-clock speed only; every byte it produces is
+//! pinned to the oracle (and to FIPS-197 / SP 800-38A / RFC 3686
+//! vectors) by the unit tests, `tests/kat.rs` and the ps-check
+//! properties.
 
 /// The AES S-box.
 const SBOX: [u8; 256] = [
@@ -29,14 +45,174 @@ const SBOX: [u8; 256] = [
 const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
 
 #[inline]
-fn xtime(b: u8) -> u8 {
+const fn xtime(b: u8) -> u8 {
     (b << 1) ^ (((b >> 7) & 1) * 0x1b)
 }
 
-/// An expanded AES-128 key (11 round keys).
+/// Build the four encryption T-tables at const-eval time. `TE[0][x]`
+/// packs the MixColumns column `(2·S(x), S(x), S(x), 3·S(x))`
+/// big-endian; `TE[1..4]` are its byte rotations, so one round of
+/// SubBytes + ShiftRows + MixColumns collapses to four lookups and
+/// three XORs per column.
+const fn te_tables() -> [[u32; 256]; 4] {
+    let mut t = [[0u32; 256]; 4];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        let s2 = xtime(s);
+        let s3 = s2 ^ s;
+        let w = ((s2 as u32) << 24) | ((s as u32) << 16) | ((s as u32) << 8) | (s3 as u32);
+        t[0][i] = w;
+        t[1][i] = w.rotate_right(8);
+        t[2][i] = w.rotate_right(16);
+        t[3][i] = w.rotate_right(24);
+        i += 1;
+    }
+    t
+}
+
+/// The four 1 KiB T-tables (4 KiB total, fits L1).
+static TE: [[u32; 256]; 4] = te_tables();
+
+/// AES-NI backend: the `aesenc`/`aesenclast` instruction path, used
+/// when the CPU has it (runtime-detected once, cached). This is the
+/// "highly optimized AES … using SSE" configuration of the paper's
+/// CPU baseline (§6.2.4). Bit-identical to the T-table path and the
+/// byte oracle — the same KATs and ps-check properties pin all three.
+#[cfg(target_arch = "x86_64")]
+mod ni {
+    use core::arch::x86_64::*;
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    static STATE: AtomicU8 = AtomicU8::new(0);
+
+    /// Does this CPU have AES-NI (+SSE2)? First call probes, later
+    /// calls are one relaxed load.
+    #[inline]
+    pub fn available() -> bool {
+        match STATE.load(Ordering::Relaxed) {
+            2 => true,
+            1 => false,
+            _ => {
+                let ok = std::arch::is_x86_feature_detected!("aes")
+                    && std::arch::is_x86_feature_detected!("sse2")
+                    && std::arch::is_x86_feature_detected!("sse4.1");
+                STATE.store(if ok { 2 } else { 1 }, Ordering::Relaxed);
+                ok
+            }
+        }
+    }
+
+    #[inline]
+    #[target_feature(enable = "aes,sse2")]
+    unsafe fn load_rk(rk: &[[u8; 16]; 11]) -> [__m128i; 11] {
+        let mut k = [_mm_setzero_si128(); 11];
+        for (dst, src) in k.iter_mut().zip(rk.iter()) {
+            *dst = _mm_loadu_si128(src.as_ptr() as *const __m128i);
+        }
+        k
+    }
+
+    /// Encrypt one block.
+    #[target_feature(enable = "aes,sse2")]
+    pub unsafe fn encrypt1(rk: &[[u8; 16]; 11], block: &[u8; 16]) -> [u8; 16] {
+        let k = load_rk(rk);
+        let mut s = _mm_xor_si128(_mm_loadu_si128(block.as_ptr() as *const __m128i), k[0]);
+        for key in &k[1..10] {
+            s = _mm_aesenc_si128(s, *key);
+        }
+        s = _mm_aesenclast_si128(s, k[10]);
+        let mut out = [0u8; 16];
+        _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, s);
+        out
+    }
+
+    /// Encrypt four independent blocks, round-interleaved so the
+    /// `aesenc` latencies overlap.
+    #[target_feature(enable = "aes,sse2")]
+    pub unsafe fn encrypt4(rk: &[[u8; 16]; 11], blocks: &mut [[u8; 16]; 4]) {
+        let k = load_rk(rk);
+        let mut s = [_mm_setzero_si128(); 4];
+        for (l, b) in s.iter_mut().zip(blocks.iter()) {
+            *l = _mm_xor_si128(_mm_loadu_si128(b.as_ptr() as *const __m128i), k[0]);
+        }
+        for key in &k[1..10] {
+            for l in &mut s {
+                *l = _mm_aesenc_si128(*l, *key);
+            }
+        }
+        for (l, b) in s.iter_mut().zip(blocks.iter_mut()) {
+            *l = _mm_aesenclast_si128(*l, k[10]);
+            _mm_storeu_si128(b.as_mut_ptr() as *mut __m128i, *l);
+        }
+    }
+
+    /// RFC 3686 CTR keystream XOR, eight blocks in flight. Same
+    /// counter semantics as the scalar paths (block index `i` uses
+    /// counter `i + 1`, wrapping mod 2³²).
+    #[target_feature(enable = "aes,sse2,sse4.1")]
+    pub unsafe fn ctr_xor(
+        rk: &[[u8; 16]; 11],
+        nonce: u32,
+        iv: &[u8; 8],
+        first_block: u32,
+        data: &mut [u8],
+    ) {
+        let k = load_rk(rk);
+        // Counter block template: nonce || iv || 0, counter patched in.
+        let mut tmpl = [0u8; 16];
+        tmpl[0..4].copy_from_slice(&nonce.to_be_bytes());
+        tmpl[4..12].copy_from_slice(iv);
+        let tmpl = _mm_loadu_si128(tmpl.as_ptr() as *const __m128i);
+
+        let ctr_block = |idx: u32| {
+            // Counter occupies the last 4 bytes, big-endian.
+            let ctr = idx.wrapping_add(1).to_be() as i32;
+            _mm_insert_epi32::<3>(tmpl, ctr)
+        };
+
+        let mut idx = first_block;
+        let mut chunks = data.chunks_exact_mut(128);
+        for chunk in &mut chunks {
+            let mut s = [_mm_setzero_si128(); 8];
+            for (i, l) in s.iter_mut().enumerate() {
+                *l = _mm_xor_si128(ctr_block(idx.wrapping_add(i as u32)), k[0]);
+            }
+            for key in &k[1..10] {
+                for l in &mut s {
+                    *l = _mm_aesenc_si128(*l, *key);
+                }
+            }
+            for (i, l) in s.iter_mut().enumerate() {
+                *l = _mm_aesenclast_si128(*l, k[10]);
+                let p = chunk.as_mut_ptr().add(i * 16) as *mut __m128i;
+                _mm_storeu_si128(p, _mm_xor_si128(_mm_loadu_si128(p), *l));
+            }
+            idx = idx.wrapping_add(8);
+        }
+        for blk in chunks.into_remainder().chunks_mut(16) {
+            let mut s = _mm_xor_si128(ctr_block(idx), k[0]);
+            for key in &k[1..10] {
+                s = _mm_aesenc_si128(s, *key);
+            }
+            s = _mm_aesenclast_si128(s, k[10]);
+            let mut kb = [0u8; 16];
+            _mm_storeu_si128(kb.as_mut_ptr() as *mut __m128i, s);
+            for (d, ks) in blk.iter_mut().zip(&kb) {
+                *d ^= ks;
+            }
+            idx = idx.wrapping_add(1);
+        }
+    }
+}
+
+/// An expanded AES-128 key (11 round keys, kept in both byte and
+/// 32-bit-word form: bytes for the oracle and the FIPS-197 expansion
+/// KATs, words for the T-table rounds).
 #[derive(Clone)]
 pub struct Aes128 {
     round_keys: [[u8; 16]; 11],
+    rk_words: [[u32; 4]; 11],
 }
 
 impl Aes128 {
@@ -60,21 +236,29 @@ impl Aes128 {
                 rk[round][i] = prev[i] ^ rk[round][i - 4];
             }
         }
-        Aes128 { round_keys: rk }
+        let mut rk_words = [[0u32; 4]; 11];
+        for (r, words) in rk_words.iter_mut().enumerate() {
+            for (j, w) in words.iter_mut().enumerate() {
+                let b = &rk[r][j * 4..j * 4 + 4];
+                *w = u32::from_be_bytes(b.try_into().expect("4 bytes"));
+            }
+        }
+        Aes128 {
+            round_keys: rk,
+            rk_words,
+        }
     }
 
-    /// Encrypt one 16-byte block in place.
+    /// Encrypt one 16-byte block in place (AES-NI when the CPU has
+    /// it, T-tables otherwise).
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
-        add_round_key(block, &self.round_keys[0]);
-        for round in 1..10 {
-            sub_bytes(block);
-            shift_rows(block);
-            mix_columns(block);
-            add_round_key(block, &self.round_keys[round]);
+        #[cfg(target_arch = "x86_64")]
+        if ni::available() {
+            *block = unsafe { ni::encrypt1(&self.round_keys, block) };
+            return;
         }
-        sub_bytes(block);
-        shift_rows(block);
-        add_round_key(block, &self.round_keys[10]);
+        let s = self.encrypt_words(load_words(block));
+        store_words(&s, block);
     }
 
     /// Encrypt a copy of `block`.
@@ -84,58 +268,116 @@ impl Aes128 {
         out
     }
 
+    /// Encrypt four independent blocks in place — the CTR keystream
+    /// unit. The four block states are advanced round by round
+    /// together so the loads of one block overlap the XOR chains of
+    /// the others (both the AES-NI and T-table forms interleave).
+    pub fn encrypt4(&self, blocks: &mut [[u8; 16]; 4]) {
+        #[cfg(target_arch = "x86_64")]
+        if ni::available() {
+            unsafe { ni::encrypt4(&self.round_keys, blocks) };
+            return;
+        }
+        let b = self.encrypt_words4([
+            load_words(&blocks[0]),
+            load_words(&blocks[1]),
+            load_words(&blocks[2]),
+            load_words(&blocks[3]),
+        ]);
+        for (blk, s) in blocks.iter_mut().zip(&b) {
+            store_words(s, blk);
+        }
+    }
+
     /// The expanded key schedule (11 round keys), for known-answer
     /// tests against the FIPS-197 expansion walkthrough.
     pub fn round_keys(&self) -> &[[u8; 16]; 11] {
         &self.round_keys
     }
-}
 
-#[inline]
-fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
-    for i in 0..16 {
-        state[i] ^= rk[i];
+    /// One block over column words (big-endian within each word).
+    #[inline]
+    fn encrypt_words(&self, mut s: [u32; 4]) -> [u32; 4] {
+        for (w, rk) in s.iter_mut().zip(&self.rk_words[0]) {
+            *w ^= rk;
+        }
+        for round in 1..10 {
+            s = table_round(&s, &self.rk_words[round]);
+        }
+        final_round(&s, &self.rk_words[10])
+    }
+
+    /// Four blocks, round-interleaved.
+    #[inline]
+    fn encrypt_words4(&self, mut b: [[u32; 4]; 4]) -> [[u32; 4]; 4] {
+        for blk in &mut b {
+            for (w, rk) in blk.iter_mut().zip(&self.rk_words[0]) {
+                *w ^= rk;
+            }
+        }
+        for round in 1..10 {
+            let rk = &self.rk_words[round];
+            b = [
+                table_round(&b[0], rk),
+                table_round(&b[1], rk),
+                table_round(&b[2], rk),
+                table_round(&b[3], rk),
+            ];
+        }
+        let rk = &self.rk_words[10];
+        [
+            final_round(&b[0], rk),
+            final_round(&b[1], rk),
+            final_round(&b[2], rk),
+            final_round(&b[3], rk),
+        ]
     }
 }
 
 #[inline]
-fn sub_bytes(state: &mut [u8; 16]) {
-    for b in state.iter_mut() {
-        *b = SBOX[*b as usize];
+fn load_words(block: &[u8; 16]) -> [u32; 4] {
+    let mut s = [0u32; 4];
+    for (j, w) in s.iter_mut().enumerate() {
+        *w = u32::from_be_bytes(block[j * 4..j * 4 + 4].try_into().expect("4 bytes"));
     }
-}
-
-/// State is column-major: state[4*c + r] is row r, column c.
-#[inline]
-fn shift_rows(state: &mut [u8; 16]) {
-    // Row 1: shift left by 1.
-    let t = state[1];
-    state[1] = state[5];
-    state[5] = state[9];
-    state[9] = state[13];
-    state[13] = t;
-    // Row 2: shift left by 2.
-    state.swap(2, 10);
-    state.swap(6, 14);
-    // Row 3: shift left by 3 (= right by 1).
-    let t = state[15];
-    state[15] = state[11];
-    state[11] = state[7];
-    state[7] = state[3];
-    state[3] = t;
+    s
 }
 
 #[inline]
-fn mix_columns(state: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col = &mut state[4 * c..4 * c + 4];
-        let a = [col[0], col[1], col[2], col[3]];
-        let t = a[0] ^ a[1] ^ a[2] ^ a[3];
-        col[0] = a[0] ^ t ^ xtime(a[0] ^ a[1]);
-        col[1] = a[1] ^ t ^ xtime(a[1] ^ a[2]);
-        col[2] = a[2] ^ t ^ xtime(a[2] ^ a[3]);
-        col[3] = a[3] ^ t ^ xtime(a[3] ^ a[0]);
+fn store_words(s: &[u32; 4], block: &mut [u8; 16]) {
+    for (j, w) in s.iter().enumerate() {
+        block[j * 4..j * 4 + 4].copy_from_slice(&w.to_be_bytes());
     }
+}
+
+/// One full table round: column `j` reads rows 0..3 from columns
+/// `j, j+1, j+2, j+3` (ShiftRows folded into the indexing).
+#[inline]
+fn table_round(s: &[u32; 4], rk: &[u32; 4]) -> [u32; 4] {
+    let mut out = [0u32; 4];
+    for (j, o) in out.iter_mut().enumerate() {
+        *o = TE[0][(s[j] >> 24) as usize]
+            ^ TE[1][((s[(j + 1) & 3] >> 16) & 0xff) as usize]
+            ^ TE[2][((s[(j + 2) & 3] >> 8) & 0xff) as usize]
+            ^ TE[3][(s[(j + 3) & 3] & 0xff) as usize]
+            ^ rk[j];
+    }
+    out
+}
+
+/// The last round has no MixColumns: plain S-box with the same
+/// ShiftRows indexing.
+#[inline]
+fn final_round(s: &[u32; 4], rk: &[u32; 4]) -> [u32; 4] {
+    let mut out = [0u32; 4];
+    for (j, o) in out.iter_mut().enumerate() {
+        *o = (u32::from(SBOX[(s[j] >> 24) as usize]) << 24)
+            | (u32::from(SBOX[((s[(j + 1) & 3] >> 16) & 0xff) as usize]) << 16)
+            | (u32::from(SBOX[((s[(j + 2) & 3] >> 8) & 0xff) as usize]) << 8)
+            | u32::from(SBOX[(s[(j + 3) & 3] & 0xff) as usize]);
+        *o ^= rk[j];
+    }
+    out
 }
 
 /// RFC 3686 CTR counter block: `nonce(4) || iv(8) || counter(4)`,
@@ -149,14 +391,60 @@ pub fn ctr_counter_block(nonce: u32, iv: &[u8; 8], counter: u32) -> [u8; 16] {
     block
 }
 
-/// Produce the keystream block for CTR block index `idx` (0-based) and
-/// XOR it into `data` (up to 16 bytes). This is the independent unit
-/// of work the paper maps to one GPU thread.
+/// Produce the keystream block for CTR block index `idx` (0-based;
+/// the wire counter is `idx + 1`, wrapping) and XOR it into `data`
+/// (up to 16 bytes). This is the independent unit of work the paper
+/// maps to one GPU thread.
 pub fn ctr_block(aes: &Aes128, nonce: u32, iv: &[u8; 8], idx: u32, data: &mut [u8]) {
     debug_assert!(data.len() <= 16);
-    let ks = aes.encrypt(&ctr_counter_block(nonce, iv, idx + 1));
+    let ks = aes.encrypt(&ctr_counter_block(nonce, iv, idx.wrapping_add(1)));
     for (d, k) in data.iter_mut().zip(ks.iter()) {
         *d ^= k;
+    }
+}
+
+/// XOR the RFC 3686 keystream for block indices `first_block..` into
+/// `data`, four blocks per cipher call. Handles arbitrary lengths
+/// (the tail runs block-at-a-time) and counter wrap-around; the
+/// counter word for block index `i` is `i + 1` modulo 2³². Equivalent
+/// to [`oracle::ctr_xor`] byte for byte.
+pub fn ctr_xor(aes: &Aes128, nonce: u32, iv: &[u8; 8], first_block: u32, data: &mut [u8]) {
+    #[cfg(target_arch = "x86_64")]
+    if ni::available() {
+        unsafe { ni::ctr_xor(&aes.round_keys, nonce, iv, first_block, data) };
+        return;
+    }
+    ctr_xor_soft(aes, nonce, iv, first_block, data);
+}
+
+/// The portable T-table CTR path — the `ctr_xor` fallback, kept
+/// callable so tests pin it against the oracle even on CPUs where the
+/// dispatch never takes it.
+fn ctr_xor_soft(aes: &Aes128, nonce: u32, iv: &[u8; 8], first_block: u32, data: &mut [u8]) {
+    let iv0 = u32::from_be_bytes(iv[0..4].try_into().expect("4 bytes"));
+    let iv1 = u32::from_be_bytes(iv[4..8].try_into().expect("4 bytes"));
+    let mut idx = first_block;
+    let mut chunks = data.chunks_exact_mut(64);
+    for chunk in &mut chunks {
+        let ctr = |i: u32| [nonce, iv0, iv1, idx.wrapping_add(i).wrapping_add(1)];
+        let ks = aes.encrypt_words4([ctr(0), ctr(1), ctr(2), ctr(3)]);
+        for (blk, ksw) in chunk.chunks_exact_mut(16).zip(&ks) {
+            let mut kb = [0u8; 16];
+            store_words(ksw, &mut kb);
+            for (d, k) in blk.iter_mut().zip(&kb) {
+                *d ^= k;
+            }
+        }
+        idx = idx.wrapping_add(4);
+    }
+    for blk in chunks.into_remainder().chunks_mut(16) {
+        let ks = aes.encrypt_words([nonce, iv0, iv1, idx.wrapping_add(1)]);
+        let mut kb = [0u8; 16];
+        store_words(&ks, &mut kb);
+        for (d, k) in blk.iter_mut().zip(&kb) {
+            *d ^= k;
+        }
+        idx = idx.wrapping_add(1);
     }
 }
 
@@ -177,9 +465,7 @@ impl CtrStream {
 
     /// XOR the keystream for (`iv`) into `data`.
     pub fn apply(&self, iv: &[u8; 8], data: &mut [u8]) {
-        for (idx, chunk) in data.chunks_mut(16).enumerate() {
-            ctr_block(&self.aes, self.nonce, iv, idx as u32, chunk);
-        }
+        ctr_xor(&self.aes, self.nonce, iv, 0, data);
     }
 
     /// The underlying block cipher (the GPU kernel drives blocks
@@ -191,6 +477,103 @@ impl CtrStream {
     /// The SA nonce.
     pub fn nonce(&self) -> u32 {
         self.nonce
+    }
+}
+
+pub mod oracle {
+    //! The byte-oriented reference implementation — S-box and `xtime`
+    //! only, exactly the seed implementation this crate shipped with.
+    //! It exists so the T-table fast path always has an in-tree
+    //! oracle: every optimized routine is property-tested against
+    //! these functions over random keys, lengths and offsets.
+
+    use super::{ctr_counter_block, Aes128, SBOX};
+
+    #[inline]
+    fn xtime(b: u8) -> u8 {
+        super::xtime(b)
+    }
+
+    /// Encrypt one 16-byte block in place, byte-oriented.
+    pub fn encrypt_block(aes: &Aes128, block: &mut [u8; 16]) {
+        let rk = aes.round_keys();
+        add_round_key(block, &rk[0]);
+        for round_key in &rk[1..10] {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, round_key);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &rk[10]);
+    }
+
+    /// Encrypt a copy of `block`, byte-oriented.
+    pub fn encrypt(aes: &Aes128, block: &[u8; 16]) -> [u8; 16] {
+        let mut out = *block;
+        encrypt_block(aes, &mut out);
+        out
+    }
+
+    /// Scalar CTR keystream XOR: one block at a time, counter for
+    /// block index `i` is `i + 1` modulo 2³². The reference
+    /// [`super::ctr_xor`] is tested against.
+    pub fn ctr_xor(aes: &Aes128, nonce: u32, iv: &[u8; 8], first_block: u32, data: &mut [u8]) {
+        for (off, chunk) in data.chunks_mut(16).enumerate() {
+            let idx = first_block.wrapping_add(off as u32);
+            let ks = encrypt(aes, &ctr_counter_block(nonce, iv, idx.wrapping_add(1)));
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= k;
+            }
+        }
+    }
+
+    #[inline]
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for i in 0..16 {
+            state[i] ^= rk[i];
+        }
+    }
+
+    #[inline]
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    }
+
+    /// State is column-major: state[4*c + r] is row r, column c.
+    #[inline]
+    fn shift_rows(state: &mut [u8; 16]) {
+        // Row 1: shift left by 1.
+        let t = state[1];
+        state[1] = state[5];
+        state[5] = state[9];
+        state[9] = state[13];
+        state[13] = t;
+        // Row 2: shift left by 2.
+        state.swap(2, 10);
+        state.swap(6, 14);
+        // Row 3: shift left by 3 (= right by 1).
+        let t = state[15];
+        state[15] = state[11];
+        state[11] = state[7];
+        state[7] = state[3];
+        state[3] = t;
+    }
+
+    #[inline]
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = &mut state[4 * c..4 * c + 4];
+            let a = [col[0], col[1], col[2], col[3]];
+            let t = a[0] ^ a[1] ^ a[2] ^ a[3];
+            col[0] = a[0] ^ t ^ xtime(a[0] ^ a[1]);
+            col[1] = a[1] ^ t ^ xtime(a[1] ^ a[2]);
+            col[2] = a[2] ^ t ^ xtime(a[2] ^ a[3]);
+            col[3] = a[3] ^ t ^ xtime(a[3] ^ a[0]);
+        }
     }
 }
 
@@ -214,6 +597,119 @@ mod tests {
                 0xc5, 0x5a
             ]
         );
+        // The oracle agrees on the published vector too.
+        assert_eq!(oracle::encrypt(&aes, &pt), ct);
+    }
+
+    /// A cheap deterministic byte source for oracle comparisons
+    /// (xorshift64*; the crate deliberately has no deps).
+    struct Xs(u64);
+    impl Xs {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+        fn fill(&mut self, buf: &mut [u8]) {
+            for b in buf.iter_mut() {
+                *b = self.next() as u8;
+            }
+        }
+    }
+
+    /// The T-table and CTR fallback paths must agree with the
+    /// dispatching entry points even on CPUs where the dispatch takes
+    /// the AES-NI path and the fallback would otherwise go untested.
+    #[test]
+    fn soft_paths_match_dispatch() {
+        let mut xs = Xs(0xDEAD_BEEF_CAFE_F00D);
+        for _ in 0..32 {
+            let mut key = [0u8; 16];
+            let mut pt = [0u8; 16];
+            xs.fill(&mut key);
+            xs.fill(&mut pt);
+            let aes = Aes128::new(&key);
+            let soft = {
+                let mut out = pt;
+                let s = aes.encrypt_words(load_words(&out));
+                store_words(&s, &mut out);
+                out
+            };
+            assert_eq!(aes.encrypt(&pt), soft);
+
+            let mut iv = [0u8; 8];
+            xs.fill(&mut iv);
+            let nonce = xs.next() as u32;
+            let first = xs.next() as u32;
+            let mut a = vec![0u8; 200];
+            xs.fill(&mut a);
+            let mut b = a.clone();
+            ctr_xor(&aes, nonce, &iv, first, &mut a);
+            ctr_xor_soft(&aes, nonce, &iv, first, &mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn ttable_matches_oracle_on_random_blocks() {
+        let mut xs = Xs(0x9E37_79B9_7F4A_7C15);
+        for _ in 0..64 {
+            let mut key = [0u8; 16];
+            let mut pt = [0u8; 16];
+            xs.fill(&mut key);
+            xs.fill(&mut pt);
+            let aes = Aes128::new(&key);
+            assert_eq!(aes.encrypt(&pt), oracle::encrypt(&aes, &pt));
+        }
+    }
+
+    #[test]
+    fn encrypt4_equals_four_single_blocks() {
+        let mut xs = Xs(42);
+        let mut key = [0u8; 16];
+        xs.fill(&mut key);
+        let aes = Aes128::new(&key);
+        let mut blocks = [[0u8; 16]; 4];
+        for b in &mut blocks {
+            xs.fill(b);
+        }
+        let singles: Vec<[u8; 16]> = blocks.iter().map(|b| aes.encrypt(b)).collect();
+        aes.encrypt4(&mut blocks);
+        assert_eq!(blocks.to_vec(), singles);
+    }
+
+    #[test]
+    fn batched_ctr_matches_oracle_odd_lengths() {
+        let mut xs = Xs(7);
+        let mut key = [0u8; 16];
+        xs.fill(&mut key);
+        let aes = Aes128::new(&key);
+        let iv = [9u8; 8];
+        for len in [0usize, 1, 15, 16, 17, 63, 64, 65, 100, 129, 1504] {
+            let mut fast = vec![0u8; len];
+            xs.fill(&mut fast);
+            let mut slow = fast.clone();
+            ctr_xor(&aes, 0xABCD, &iv, 3, &mut fast);
+            oracle::ctr_xor(&aes, 0xABCD, &iv, 3, &mut slow);
+            assert_eq!(fast, slow, "len={len}");
+        }
+    }
+
+    #[test]
+    fn ctr_counter_wraps_instead_of_panicking() {
+        let aes = Aes128::new(&[1u8; 16]);
+        let iv = [2u8; 8];
+        // 5 blocks starting at u32::MAX - 1: counters MAX, 0, 1, 2, 3.
+        let mut fast = vec![0x55u8; 80];
+        let mut slow = fast.clone();
+        ctr_xor(&aes, 7, &iv, u32::MAX - 1, &mut fast);
+        oracle::ctr_xor(&aes, 7, &iv, u32::MAX - 1, &mut slow);
+        assert_eq!(fast, slow);
+        // The wrapped second block equals block index 0's counter (0+... )
+        let mut b0 = vec![0x55u8; 16];
+        ctr_block(&aes, 7, &iv, u32::MAX, &mut b0);
+        assert_eq!(&fast[16..32], &b0[..], "counter 0 after wrap");
     }
 
     #[test]
@@ -310,5 +806,11 @@ mod tests {
         assert_eq!(aes.round_keys[0], key);
         // FIPS-197 A.1: w[4..8] of the expanded key.
         assert_eq!(aes.round_keys[1][0..4], [0xa0, 0xfa, 0xfe, 0x17]);
+        // The word-form schedule is the byte form, big-endian.
+        assert_eq!(aes.rk_words[1][0], 0xa0fafe17);
+        assert_eq!(
+            aes.rk_words[0][0],
+            u32::from_be_bytes(key[0..4].try_into().unwrap())
+        );
     }
 }

@@ -4,7 +4,7 @@
 
 use ps_net::esp::{self, EspPacket, ICV_LEN, IV_LEN};
 
-use crate::aes::CtrStream;
+use crate::aes::{Aes128, CtrStream};
 use crate::hmac::HmacSha1;
 
 /// Next-header value for IPv4-in-ESP (tunnel mode).
@@ -55,6 +55,19 @@ impl SecurityAssociation {
             hmac: HmacSha1::new(hmac_key),
             seq: 1,
         }
+    }
+
+    /// The SA's block cipher, key schedule expanded once at SA
+    /// creation. Offload paths that drive AES blocks themselves
+    /// borrow this instead of re-expanding the key per batch.
+    pub fn cipher(&self) -> &Aes128 {
+        self.ctr.cipher()
+    }
+
+    /// The SA's keyed HMAC context (inner/outer pads precomputed at
+    /// SA creation).
+    pub fn hmac(&self) -> &HmacSha1 {
+        &self.hmac
     }
 
     /// Deterministic per-packet IV from the sequence number (RFC 3686

@@ -35,14 +35,32 @@ impl HmacSha1 {
         }
     }
 
-    /// Full 20-byte MAC over `data`.
-    pub fn mac(&self, data: &[u8]) -> [u8; DIGEST] {
-        let mut inner = self.ipad_state.clone();
-        inner.update(data);
+    /// Begin an incremental MAC: a copy of the keyed inner-pad state,
+    /// ready to absorb message chunks with [`Sha1::update`]. Lets
+    /// callers that stream data (e.g. 64 B device reads) MAC without
+    /// gathering the message into a contiguous buffer first.
+    pub fn begin(&self) -> Sha1 {
+        self.ipad_state.clone()
+    }
+
+    /// Finish an incremental MAC started with [`HmacSha1::begin`].
+    pub fn finish(&self, inner: Sha1) -> [u8; DIGEST] {
         let inner_digest = inner.finalize();
         let mut outer = self.opad_state.clone();
         outer.update(&inner_digest);
         outer.finalize()
+    }
+
+    /// Finish an incremental MAC with the 96-bit ESP truncation.
+    pub fn finish96(&self, inner: Sha1) -> [u8; 12] {
+        self.finish(inner)[..12].try_into().expect("12 of 20 bytes")
+    }
+
+    /// Full 20-byte MAC over `data`.
+    pub fn mac(&self, data: &[u8]) -> [u8; DIGEST] {
+        let mut inner = self.begin();
+        inner.update(data);
+        self.finish(inner)
     }
 
     /// Truncated 96-bit MAC (the ESP ICV).
@@ -121,6 +139,22 @@ mod tests {
         bad[11] ^= 1;
         assert!(!h.verify96(b"payload", &bad));
         assert!(!h.verify96(b"payload", &icv[..11]));
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let h = HmacSha1::new(b"stream-key");
+        let data: Vec<u8> = (0..=255u8).cycle().take(777).collect();
+        for chunk in [1usize, 16, 64, 100, 777] {
+            let mut inner = h.begin();
+            for piece in data.chunks(chunk) {
+                inner.update(piece);
+            }
+            assert_eq!(h.finish(inner), h.mac(&data), "chunk={chunk}");
+            let mut inner = h.begin();
+            inner.update(&data);
+            assert_eq!(h.finish96(inner), h.mac96(&data));
+        }
     }
 
     #[test]

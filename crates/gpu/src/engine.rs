@@ -21,7 +21,7 @@ use ps_hw::pcie::{CopyDir, PcieModel};
 use ps_sim::time::Time;
 
 use crate::device::{DeviceBuffer, GpuDevice};
-use crate::kernel::{self, Kernel, LaunchStats};
+use crate::kernel::{self, Kernel, LaunchStats, WarpAccumulator};
 use crate::timing;
 
 /// Extra host-side driver cost per CUDA library call when stream
@@ -50,6 +50,10 @@ pub struct GpuEngine {
     /// Trace lane for this device's `gpu`-category spans (set to the
     /// NUMA node index by the router; engine 0 by default).
     pub trace_lane: u32,
+    /// Reusable per-launch warp scratch: allocated to its high-water
+    /// mark by the first launches, then recycled so steady-state
+    /// launches are allocation-free.
+    scratch: WarpAccumulator,
 }
 
 impl GpuEngine {
@@ -66,6 +70,7 @@ impl GpuEngine {
             kernels_launched: 0,
             kernel_busy: 0,
             trace_lane: 0,
+            scratch: WarpAccumulator::default(),
         }
     }
 
@@ -178,7 +183,7 @@ impl GpuEngine {
         kernel: &dyn Kernel,
         threads: u32,
     ) -> (Time, LaunchStats) {
-        let stats = kernel::execute(kernel, &mut self.dev.mem, threads);
+        let stats = kernel::execute_with(kernel, &mut self.dev.mem, threads, &mut self.scratch);
         let cost = kernel::cost_of(&stats);
         let duration = timing::launch_overhead(&self.dev.spec, threads)
             + timing::kernel_time(&self.dev.spec, &cost);

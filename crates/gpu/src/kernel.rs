@@ -21,7 +21,7 @@ pub trait Kernel {
 }
 
 /// Aggregated outcome of a kernel launch.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LaunchStats {
     /// Threads launched.
     pub threads: u32,
@@ -124,14 +124,24 @@ impl<'a> ThreadCtx<'a> {
 const SEGMENT_SHIFT: u32 = 7; // 128-byte coalescing segments
 
 /// Collects per-warp traces while the 32 lanes execute sequentially.
+///
+/// The buffers are high-water-mark scratch: `finish` resets *used*
+/// counts but never frees — inner segment vectors keep their capacity
+/// across warps, and when the accumulator itself is reused across
+/// launches (see [`execute_with`]) the steady state allocates
+/// nothing. The per-launch `steps.resize_with(step + 1, ...)` churn
+/// this replaces showed up directly in the IPsec wall-clock sweeps.
 #[derive(Debug, Default)]
-pub(crate) struct WarpAccumulator {
-    /// Per memory step: sorted unique 128 B segment ids touched.
+pub struct WarpAccumulator {
+    /// Per memory step: unique 128 B segment ids touched. Only
+    /// `steps[..used_steps]` is live; slots beyond hold empty spare
+    /// vectors with retained capacity.
     steps: Vec<Vec<u64>>,
-    /// Per branch step: (first decision, diverged?).
+    used_steps: usize,
+    /// Per branch step: (first decision, diverged?). Slots at or past
+    /// `used_branches` are stale and re-initialized on first touch.
     branches: Vec<(bool, bool)>,
-    /// Max per-lane ALU cycles in this warp.
-    max_alu: u64,
+    used_branches: usize,
 }
 
 impl WarpAccumulator {
@@ -139,6 +149,7 @@ impl WarpAccumulator {
         if self.steps.len() <= step {
             self.steps.resize_with(step + 1, Vec::new);
         }
+        self.used_steps = self.used_steps.max(step + 1);
         let first = (addr >> SEGMENT_SHIFT) as u64;
         let last = ((addr + len.max(1) - 1) >> SEGMENT_SHIFT) as u64;
         for seg in first..=last {
@@ -153,6 +164,15 @@ impl WarpAccumulator {
         if self.branches.len() <= step {
             self.branches.resize(step + 1, (taken, false));
         }
+        if self.used_branches <= step {
+            // First touch this warp: overwrite whatever a previous
+            // warp left here (same semantics as the old `resize`
+            // after `clear`).
+            for slot in &mut self.branches[self.used_branches..=step] {
+                *slot = (taken, false);
+            }
+            self.used_branches = step + 1;
+        }
         let (first, diverged) = &mut self.branches[step];
         if *first != taken {
             *diverged = true;
@@ -160,16 +180,22 @@ impl WarpAccumulator {
     }
 
     fn finish(&mut self, max_alu: u64) -> (u64, u32, u64, u64) {
-        let transactions: u64 = self.steps.iter().map(|s| s.len() as u64).sum();
-        let chain = self.steps.len() as u32;
-        let divergent = self.branches.iter().filter(|(_, d)| *d).count() as u64;
+        let live = &mut self.steps[..self.used_steps];
+        let transactions: u64 = live.iter().map(|s| s.len() as u64).sum();
+        let chain = self.used_steps as u32;
+        let divergent = self.branches[..self.used_branches]
+            .iter()
+            .filter(|(_, d)| *d)
+            .count() as u64;
         // A divergent branch serializes both sides of the warp: charge
         // the warp's issue cost again for each divergent decision, the
         // standard lockstep-masking cost model (§2.1).
         let issue = max_alu * (1 + divergent);
-        self.steps.clear();
-        self.branches.clear();
-        self.max_alu = 0;
+        for v in live {
+            v.clear(); // capacity retained
+        }
+        self.used_steps = 0;
+        self.used_branches = 0;
         (transactions, chain, issue, divergent)
     }
 }
@@ -177,7 +203,23 @@ impl WarpAccumulator {
 /// Execute `kernel` over `threads` threads against `mem`, returning
 /// aggregate stats for the timing model. Purely functional — virtual
 /// time is computed separately from the returned stats.
+///
+/// Allocates fresh warp scratch; the engine's steady-state path is
+/// [`execute_with`], which reuses scratch across launches.
 pub fn execute(kernel: &dyn Kernel, mem: &mut DeviceMemory, threads: u32) -> LaunchStats {
+    execute_with(kernel, mem, threads, &mut WarpAccumulator::default())
+}
+
+/// [`execute`] with caller-owned warp scratch. [`crate::GpuEngine`]
+/// holds one [`WarpAccumulator`] for its lifetime, so per-warp step
+/// and branch buffers are allocated once at the high-water mark and
+/// recycled for every subsequent launch.
+pub fn execute_with(
+    kernel: &dyn Kernel,
+    mem: &mut DeviceMemory,
+    threads: u32,
+    warp: &mut WarpAccumulator,
+) -> LaunchStats {
     let warp_size = 32;
     let mut stats = LaunchStats {
         threads,
@@ -187,7 +229,6 @@ pub fn execute(kernel: &dyn Kernel, mem: &mut DeviceMemory, threads: u32) -> Lau
         issue_cycles: 0,
         divergent_branches: 0,
     };
-    let mut warp = WarpAccumulator::default();
     let mut tid = 0;
     while tid < threads {
         let lanes = warp_size.min(threads - tid);
@@ -199,7 +240,7 @@ pub fn execute(kernel: &dyn Kernel, mem: &mut DeviceMemory, threads: u32) -> Lau
                 step: 0,
                 alu: 0,
                 branch_step: 0,
-                warp: &mut warp,
+                warp: &mut *warp,
             };
             kernel.thread(tid + lane, &mut ctx);
             max_alu = max_alu.max(ctx.alu);
@@ -355,6 +396,43 @@ mod tests {
         let buf = mem.alloc(512);
         let s = execute(&Chase { buf, hops: 7 }, &mut mem, 8);
         assert_eq!(s.max_chain, 7);
+    }
+
+    /// Reusing one accumulator across launches — including launches
+    /// with *different* step and branch shapes — must yield exactly
+    /// the stats a fresh accumulator yields. This is the contract
+    /// that lets GpuEngine keep scratch for its whole lifetime.
+    #[test]
+    fn scratch_reuse_is_invisible() {
+        struct Branchy {
+            buf: DeviceBuffer,
+        }
+        impl Kernel for Branchy {
+            fn name(&self) -> &str {
+                "branchy"
+            }
+            fn thread(&self, tid: u32, ctx: &mut ThreadCtx<'_>) {
+                ctx.alu(10);
+                ctx.branch(tid.is_multiple_of(2));
+                let _ = ctx.read_u32(&self.buf, tid as usize * 512);
+            }
+        }
+        let mut mem = DeviceMemory::new(1 << 20);
+        let buf = mem.alloc(64 * 512 + 4);
+        let mut scratch = WarpAccumulator::default();
+        // Deep kernel, then shallow, then branchy, then deep again:
+        // stale state from a previous shape must never leak through.
+        for _ in 0..2 {
+            let fresh = execute(&ScatteredRead { buf }, &mut mem, 64);
+            let reused = execute_with(&ScatteredRead { buf }, &mut mem, 64, &mut scratch);
+            assert_eq!(fresh, reused, "scattered");
+            let fresh = execute(&CoalescedRead { buf }, &mut mem, 64);
+            let reused = execute_with(&CoalescedRead { buf }, &mut mem, 64, &mut scratch);
+            assert_eq!(fresh, reused, "coalesced");
+            let fresh = execute(&Branchy { buf }, &mut mem, 48);
+            let reused = execute_with(&Branchy { buf }, &mut mem, 48, &mut scratch);
+            assert_eq!(fresh, reused, "branchy");
+        }
     }
 
     #[test]

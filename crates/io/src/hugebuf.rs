@@ -109,20 +109,32 @@ impl HugePacketBuffer {
     /// per-packet offsets — the engine's copy-to-user step, which the
     /// paper chose over zero-copy "for better abstraction" (§4.3).
     pub fn copy_batch_to_user(&self, cells: &[CellRef]) -> (Vec<u8>, Vec<(usize, usize)>) {
-        let total: usize = cells
-            .iter()
-            .map(|&c| self.packet(c).len())
-            .collect::<Vec<_>>()
-            .iter()
-            .sum();
-        let mut buf = Vec::with_capacity(total);
-        let mut index = Vec::with_capacity(cells.len());
+        let mut buf = Vec::new();
+        let mut index = Vec::new();
+        self.copy_batch_to_user_into(cells, &mut buf, &mut index);
+        (buf, index)
+    }
+
+    /// [`copy_batch_to_user`](Self::copy_batch_to_user) into caller-
+    /// owned buffers, clearing them first. A steady-state RX loop
+    /// reuses the same pair every batch and allocates nothing once
+    /// their capacity reaches the largest batch seen.
+    pub fn copy_batch_to_user_into(
+        &self,
+        cells: &[CellRef],
+        buf: &mut Vec<u8>,
+        index: &mut Vec<(usize, usize)>,
+    ) {
+        buf.clear();
+        index.clear();
+        let total: usize = cells.iter().map(|&c| self.packet(c).len()).sum();
+        buf.reserve(total);
+        index.reserve(cells.len());
         for &c in cells {
             let p = self.packet(c);
             index.push((buf.len(), p.len()));
             buf.extend_from_slice(p);
         }
-        (buf, index)
     }
 }
 
@@ -186,6 +198,22 @@ mod tests {
         assert_eq!(idx, vec![(0, 60), (60, 100), (160, 64)]);
         assert_eq!(buf.len(), 224);
         assert_eq!(&buf[60..160], &[2; 100][..]);
+    }
+
+    #[test]
+    fn copy_batch_into_reuses_buffers() {
+        let mut hb = HugePacketBuffer::new(4);
+        let cells: Vec<_> = (0..3).map(|_| hb.alloc().unwrap()).collect();
+        hb.write_packet(cells[0], &[1; 60], 0, 0);
+        hb.write_packet(cells[1], &[2; 100], 0, 0);
+        hb.write_packet(cells[2], &[3; 64], 0, 0);
+        let mut buf = vec![0xFFu8; 999]; // stale contents must vanish
+        let mut idx = vec![(7usize, 7usize)];
+        hb.copy_batch_to_user_into(&cells, &mut buf, &mut idx);
+        assert_eq!((buf.clone(), idx.clone()), hb.copy_batch_to_user(&cells));
+        let cap = buf.capacity();
+        hb.copy_batch_to_user_into(&cells, &mut buf, &mut idx);
+        assert_eq!(buf.capacity(), cap, "steady state must not reallocate");
     }
 
     #[test]

@@ -8,34 +8,71 @@ pub const MSFT_KEY: [u8; 40] = [
     0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
 ];
 
+/// The 40-bit key chunk covering byte position `p`: key bits
+/// `[8p, 8p + 40)`, top-aligned in the low 40 bits of a `u64`. The
+/// window for input bit `8p + j` is then `(chunk >> (8 - j)) as u32`.
+const fn key_chunk(key: &[u8; 40], p: usize) -> u64 {
+    ((key[p] as u64) << 32)
+        | ((key[p + 1] as u64) << 24)
+        | ((key[p + 2] as u64) << 16)
+        | ((key[p + 3] as u64) << 8)
+        | (key[p + 4] as u64)
+}
+
+/// Per-(byte position, byte value) XOR contributions for one key:
+/// `tables[p][b]` is the XOR of the key windows selected by the set
+/// bits of input byte `b` at position `p`. Hashing is then one table
+/// lookup per input byte.
+const fn build_tables(key: &[u8; 40]) -> [[u32; 256]; 36] {
+    let mut tables = [[0u32; 256]; 36];
+    let mut p = 0;
+    while p < 36 {
+        let chunk = key_chunk(key, p);
+        let mut b = 0;
+        while b < 256 {
+            let mut acc = 0u32;
+            let mut j = 0;
+            while j < 8 {
+                if (b >> (7 - j)) & 1 == 1 {
+                    acc ^= (chunk >> (8 - j)) as u32;
+                }
+                j += 1;
+            }
+            tables[p][b] = acc;
+            b += 1;
+        }
+        p += 1;
+    }
+    tables
+}
+
+/// Precomputed tables for [`MSFT_KEY`] — the key every RSS
+/// configuration in this codebase uses, so the per-packet hash on the
+/// hot path is pure table lookups.
+static MSFT_TABLES: [[u32; 256]; 36] = build_tables(&MSFT_KEY);
+
 /// Toeplitz hash of `input` under `key`. Bit `i` of the input selects
 /// the 32-bit window of the key starting at bit `i`.
 pub fn toeplitz_hash(key: &[u8; 40], input: &[u8]) -> u32 {
     assert!(input.len() <= 36, "key window exhausted");
     let mut result = 0u32;
-    // Sliding 32-bit window over the key, advanced bit by bit.
-    let mut window = u32::from_be_bytes([key[0], key[1], key[2], key[3]]);
-    let mut next_byte = 4;
-    let mut bits_used = 0;
-    let mut window_next = key[next_byte];
-
-    for &byte in input {
-        for bit in (0..8).rev() {
-            if byte >> bit & 1 == 1 {
-                result ^= window;
-            }
-            // Slide one bit.
-            window = (window << 1) | u32::from(window_next >> 7);
-            window_next <<= 1;
-            bits_used += 1;
-            if bits_used == 8 {
-                bits_used = 0;
-                next_byte += 1;
-                window_next = if next_byte < key.len() {
-                    key[next_byte]
-                } else {
-                    0
-                };
+    if *key == MSFT_KEY {
+        // Hot path: one precomputed lookup per input byte.
+        for (p, &byte) in input.iter().enumerate() {
+            result ^= MSFT_TABLES[p][byte as usize];
+        }
+        return result;
+    }
+    // Generic key: extract the eight windows per byte from a 40-bit
+    // chunk instead of sliding the window bit by bit.
+    for (p, &byte) in input.iter().enumerate() {
+        if byte == 0 {
+            continue;
+        }
+        let chunk = key_chunk(key, p);
+        for j in 0..8 {
+            if (byte >> (7 - j)) & 1 == 1 {
+                result ^= (chunk >> (8 - j)) as u32;
             }
         }
     }
@@ -50,6 +87,23 @@ pub fn hash_v4(key: &[u8; 40], src: u32, dst: u32, src_port: u16, dst_port: u16)
     input[4..8].copy_from_slice(&dst.to_be_bytes());
     input[8..10].copy_from_slice(&src_port.to_be_bytes());
     input[10..12].copy_from_slice(&dst_port.to_be_bytes());
+    toeplitz_hash(key, &input)
+}
+
+/// Hash the IPv6 + TCP/UDP tuple in the canonical RSS input order:
+/// `src_addr || dst_addr || src_port || dst_port`.
+pub fn hash_v6(
+    key: &[u8; 40],
+    src: &[u8; 16],
+    dst: &[u8; 16],
+    src_port: u16,
+    dst_port: u16,
+) -> u32 {
+    let mut input = [0u8; 36];
+    input[0..16].copy_from_slice(src);
+    input[16..32].copy_from_slice(dst);
+    input[32..34].copy_from_slice(&src_port.to_be_bytes());
+    input[34..36].copy_from_slice(&dst_port.to_be_bytes());
     toeplitz_hash(key, &input)
 }
 
@@ -193,5 +247,56 @@ mod tests {
     #[should_panic(expected = "key window exhausted")]
     fn oversized_input_panics() {
         let _ = toeplitz_hash(&MSFT_KEY, &[0u8; 37]);
+    }
+
+    /// Textbook formulation: slide the 32-bit key window one bit at a
+    /// time. Both fast paths must reproduce it exactly.
+    fn toeplitz_bitwise(key: &[u8; 40], input: &[u8]) -> u32 {
+        let mut result = 0u32;
+        let mut window = u32::from_be_bytes([key[0], key[1], key[2], key[3]]);
+        let mut next_byte = 4;
+        let mut bits_used = 0;
+        let mut window_next = key[next_byte];
+        for &byte in input {
+            for bit in (0..8).rev() {
+                if byte >> bit & 1 == 1 {
+                    result ^= window;
+                }
+                window = (window << 1) | u32::from(window_next >> 7);
+                window_next <<= 1;
+                bits_used += 1;
+                if bits_used == 8 {
+                    bits_used = 0;
+                    next_byte += 1;
+                    window_next = if next_byte < key.len() {
+                        key[next_byte]
+                    } else {
+                        0
+                    };
+                }
+            }
+        }
+        result
+    }
+
+    #[test]
+    fn fast_paths_match_bitwise_reference() {
+        let mut other_key = MSFT_KEY;
+        other_key[0] ^= 0xA5; // forces the generic-key path
+        for len in [0usize, 1, 7, 8, 12, 13, 35, 36] {
+            let input: Vec<u8> = (0..len as u32)
+                .map(|i| (i.wrapping_mul(167) ^ (i >> 3)) as u8)
+                .collect();
+            assert_eq!(
+                toeplitz_hash(&MSFT_KEY, &input),
+                toeplitz_bitwise(&MSFT_KEY, &input),
+                "table path, len {len}"
+            );
+            assert_eq!(
+                toeplitz_hash(&other_key, &input),
+                toeplitz_bitwise(&other_key, &input),
+                "generic path, len {len}"
+            );
+        }
     }
 }

@@ -15,7 +15,7 @@ use ps_rng::Rng;
 
 use ps_io::Packet;
 use ps_net::ethernet::MacAddr;
-use ps_net::PacketBuilder;
+use ps_net::{checksum, PacketBuilder};
 use ps_nic::port::PortId;
 use ps_sim::stats::{Histogram, PacketCounter, ETHERNET_OVERHEAD_BYTES};
 use ps_sim::time::Time;
@@ -65,6 +65,195 @@ impl TrafficSpec {
     }
 }
 
+/// A prebuilt frame with checksum partial sums: generated frames
+/// differ only in addresses and ports, so the generator clones this
+/// template and patches the varying fields instead of re-serializing
+/// headers and re-summing the constant bytes for every packet.
+/// Byte-identical to the [`PacketBuilder`] output (property-tested).
+struct FrameTemplate {
+    buf: Vec<u8>,
+    /// IPv4 header sum with src/dst/checksum zeroed.
+    ip_part: u32,
+    /// UDP sum (incl. pseudo header) with src/dst/ports/cksum zeroed.
+    udp_part: u32,
+}
+
+/// Byte offsets of the patched fields (Ethernet header is 14 bytes).
+mod field {
+    pub const IP4_CKSUM: usize = 24;
+    pub const IP4_SRC: usize = 26;
+    pub const IP4_DST: usize = 30;
+    pub const UDP4_SPORT: usize = 34;
+    pub const UDP4_DPORT: usize = 36;
+    pub const UDP4_CKSUM: usize = 40;
+    pub const IP6_SRC: usize = 22;
+    pub const IP6_DST: usize = 38;
+    pub const UDP6_SPORT: usize = 54;
+    pub const UDP6_DPORT: usize = 56;
+}
+
+impl FrameTemplate {
+    fn new(kind: TrafficKind, frame_len: usize, src_mac: MacAddr, dst_mac: MacAddr) -> Self {
+        match kind {
+            TrafficKind::Ipv4Udp => {
+                let zero = Ipv4Addr::from(0u32);
+                let mut buf = PacketBuilder::udp_v4(src_mac, dst_mac, zero, zero, 0, 0, frame_len);
+                // Zero the checksum fields: the partial sums must see
+                // every varying field as zero.
+                buf[field::IP4_CKSUM..field::IP4_CKSUM + 2].fill(0);
+                buf[field::UDP4_CKSUM..field::UDP4_CKSUM + 2].fill(0);
+                let ip_part = checksum::sum(0, &buf[14..34]);
+                let udp_len = u16::from_be_bytes([buf[38], buf[39]]);
+                let udp_part = checksum::sum(
+                    checksum::pseudo_header_v4(
+                        [0; 4],
+                        [0; 4],
+                        ps_net::ipv4::protocol::UDP,
+                        udp_len,
+                    ),
+                    &buf[34..],
+                );
+                FrameTemplate {
+                    buf,
+                    ip_part,
+                    udp_part,
+                }
+            }
+            TrafficKind::Ipv6Udp => {
+                let zero = Ipv6Addr::from(0u128);
+                let buf = PacketBuilder::udp_v6(src_mac, dst_mac, zero, zero, 0, 0, frame_len);
+                // No checksums to maintain: udp_v6 leaves UDP checksum
+                // zero ("offloaded").
+                FrameTemplate {
+                    buf,
+                    ip_part: 0,
+                    udp_part: 0,
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn frame_v4(&self, src: Ipv4Addr, dst: Ipv4Addr, sport: u16, dport: u16) -> Vec<u8> {
+        self.frame_v4_into(src, dst, sport, dport, Vec::new())
+    }
+
+    /// [`Self::frame_v4`] writing into a recycled buffer: the steady
+    /// state reuses delivered/dropped frame buffers instead of
+    /// allocating one per packet.
+    fn frame_v4_into(
+        &self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        sport: u16,
+        dport: u16,
+        mut buf: Vec<u8>,
+    ) -> Vec<u8> {
+        buf.clear();
+        buf.extend_from_slice(&self.buf);
+        let s = u32::from(src);
+        let d = u32::from(dst);
+        buf[field::IP4_SRC..field::IP4_SRC + 4].copy_from_slice(&s.to_be_bytes());
+        buf[field::IP4_DST..field::IP4_DST + 4].copy_from_slice(&d.to_be_bytes());
+        buf[field::UDP4_SPORT..field::UDP4_SPORT + 2].copy_from_slice(&sport.to_be_bytes());
+        buf[field::UDP4_DPORT..field::UDP4_DPORT + 2].copy_from_slice(&dport.to_be_bytes());
+        let addr_sum = (s >> 16) + (s & 0xFFFF) + (d >> 16) + (d & 0xFFFF);
+        let ip_ck = checksum::finish(self.ip_part + addr_sum);
+        buf[field::IP4_CKSUM..field::IP4_CKSUM + 2].copy_from_slice(&ip_ck.to_be_bytes());
+        let mut udp_ck =
+            checksum::finish(self.udp_part + addr_sum + u32::from(sport) + u32::from(dport));
+        if udp_ck == 0 {
+            udp_ck = 0xFFFF; // RFC 768: computed 0 transmits as 0xFFFF
+        }
+        buf[field::UDP4_CKSUM..field::UDP4_CKSUM + 2].copy_from_slice(&udp_ck.to_be_bytes());
+        buf
+    }
+
+    #[cfg(test)]
+    fn frame_v6(&self, src: Ipv6Addr, dst: Ipv6Addr, sport: u16, dport: u16) -> Vec<u8> {
+        self.frame_v6_into(src, dst, sport, dport, Vec::new())
+    }
+
+    /// [`Self::frame_v6`] writing into a recycled buffer.
+    fn frame_v6_into(
+        &self,
+        src: Ipv6Addr,
+        dst: Ipv6Addr,
+        sport: u16,
+        dport: u16,
+        mut buf: Vec<u8>,
+    ) -> Vec<u8> {
+        buf.clear();
+        buf.extend_from_slice(&self.buf);
+        buf[field::IP6_SRC..field::IP6_SRC + 16].copy_from_slice(&src.octets());
+        buf[field::IP6_DST..field::IP6_DST + 16].copy_from_slice(&dst.octets());
+        buf[field::UDP6_SPORT..field::UDP6_SPORT + 2].copy_from_slice(&sport.to_be_bytes());
+        buf[field::UDP6_DPORT..field::UDP6_DPORT + 2].copy_from_slice(&dport.to_be_bytes());
+        buf
+    }
+}
+
+/// The varying fields of one generated frame.
+#[derive(Debug, Clone, Copy)]
+enum Tuple {
+    /// IPv4 source/destination addresses + UDP ports.
+    V4 {
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        sport: u16,
+        dport: u16,
+    },
+    /// IPv6 source/destination addresses + UDP ports.
+    V6 {
+        src: Ipv6Addr,
+        dst: Ipv6Addr,
+        sport: u16,
+        dport: u16,
+    },
+}
+
+/// Everything the router needs to admit or drop a packet *before* its
+/// frame bytes exist: arrival time, id, input port, length and flow
+/// tuple. Produced by [`Generator::next_meta`]; turned into a real
+/// [`Packet`] by [`Generator::materialize_into`] only once the NIC
+/// has accepted the frame — frames the NIC FIFO drops under overload
+/// are never built at all.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameMeta {
+    /// Arrival time of the last bit at the NIC.
+    pub t: Time,
+    /// Monotonic packet id.
+    pub id: u64,
+    /// Input port.
+    pub port: PortId,
+    /// Frame length in bytes (no FCS).
+    pub len: usize,
+    tuple: Tuple,
+}
+
+impl FrameMeta {
+    /// The RSS hash the NIC computes for this frame — identical to
+    /// parsing the materialized frame's 5-tuple back out of its bytes
+    /// (property-tested), but without touching them.
+    pub fn rss_hash(&self) -> u32 {
+        use ps_nic::rss::{hash_v4, hash_v6, MSFT_KEY};
+        match self.tuple {
+            Tuple::V4 {
+                src,
+                dst,
+                sport,
+                dport,
+            } => hash_v4(&MSFT_KEY, u32::from(src), u32::from(dst), sport, dport),
+            Tuple::V6 {
+                src,
+                dst,
+                sport,
+                dport,
+            } => hash_v6(&MSFT_KEY, &src.octets(), &dst.octets(), sport, dport),
+        }
+    }
+}
+
 /// The open-loop packet source.
 ///
 /// Inter-arrival spacing is deterministic (`wire_bits /
@@ -78,6 +267,7 @@ pub struct Generator {
     acc: u64,
     next_time: Time,
     seq: u64,
+    tmpl: FrameTemplate,
 }
 
 impl Generator {
@@ -95,6 +285,12 @@ impl Generator {
             acc: 0,
             next_time: 0,
             seq: 0,
+            tmpl: FrameTemplate::new(
+                spec.kind,
+                spec.frame_len,
+                MacAddr::local(1),
+                MacAddr::local(2),
+            ),
         }
     }
 
@@ -111,18 +307,54 @@ impl Generator {
 
     /// Produce the next packet and its arrival time.
     pub fn next_packet(&mut self) -> (Time, Packet) {
+        let meta = self.next_meta();
+        let p = self.materialize_into(&meta, Vec::new());
+        (meta.t, p)
+    }
+
+    /// Advance the generator by one packet, returning its metadata
+    /// without building the frame. All randomness is drawn here, so
+    /// the stream of tuples is identical whether or not any given
+    /// frame is later materialized.
+    pub fn next_meta(&mut self) -> FrameMeta {
         let t = self.next_time;
         self.acc += self.interval_num;
         let step = self.acc / self.spec.offered_bits;
         self.acc %= self.spec.offered_bits;
         self.next_time += step;
 
-        let port = PortId((self.seq % u64::from(self.spec.ports)) as u16);
-        let data = self.build_frame();
-        let mut p = Packet::new(self.seq, data, port, t);
-        p.arrival = t;
+        let meta = FrameMeta {
+            t,
+            id: self.seq,
+            port: PortId((self.seq % u64::from(self.spec.ports)) as u16),
+            len: self.tmpl.buf.len(),
+            tuple: self.next_tuple(),
+        };
         self.seq += 1;
-        (t, p)
+        meta
+    }
+
+    /// Build the frame for `meta` into a recycled buffer and wrap it
+    /// as a [`Packet`]. Pure function of the metadata: byte-identical
+    /// to what [`Self::next_packet`] would have produced.
+    pub fn materialize_into(&self, meta: &FrameMeta, buf: Vec<u8>) -> Packet {
+        let data = match meta.tuple {
+            Tuple::V4 {
+                src,
+                dst,
+                sport,
+                dport,
+            } => self.tmpl.frame_v4_into(src, dst, sport, dport, buf),
+            Tuple::V6 {
+                src,
+                dst,
+                sport,
+                dport,
+            } => self.tmpl.frame_v6_into(src, dst, sport, dport, buf),
+        };
+        let mut p = Packet::new(meta.id, data, meta.port, meta.t);
+        p.arrival = meta.t;
+        p
     }
 
     /// All packets arriving in `[0, until)`.
@@ -146,66 +378,49 @@ impl Generator {
         )
     }
 
-    fn build_frame(&mut self) -> Vec<u8> {
-        let src_mac = MacAddr::local(1);
-        let dst_mac = MacAddr::local(2);
+    /// Draw the next frame's varying fields, in the exact RNG order
+    /// the original frame builder used (the tuple stream is part of
+    /// the deterministic contract pinned by the fastpath guard).
+    fn next_tuple(&mut self) -> Tuple {
         if let Some(k) = self.spec.flows {
             let id = (self.seq % u64::from(k)) as u32;
             let (src, dst, sport, dport) = Self::flow_tuple(&self.spec, id);
             return match self.spec.kind {
-                TrafficKind::Ipv4Udp => PacketBuilder::udp_v4(
-                    src_mac,
-                    dst_mac,
-                    Ipv4Addr::from(src),
-                    Ipv4Addr::from(dst),
+                TrafficKind::Ipv4Udp => Tuple::V4 {
+                    src: Ipv4Addr::from(src),
+                    dst: Ipv4Addr::from(dst),
                     sport,
                     dport,
-                    self.spec.frame_len,
-                ),
-                TrafficKind::Ipv6Udp => PacketBuilder::udp_v6(
-                    src_mac,
-                    dst_mac,
-                    Ipv6Addr::from((u128::from(src) << 64) | (0b001u128 << 125)),
-                    Ipv6Addr::from((u128::from(dst) << 32) | (0b001u128 << 125)),
+                },
+                TrafficKind::Ipv6Udp => Tuple::V6 {
+                    src: Ipv6Addr::from((u128::from(src) << 64) | (0b001u128 << 125)),
+                    dst: Ipv6Addr::from((u128::from(dst) << 32) | (0b001u128 << 125)),
                     sport,
                     dport,
-                    self.spec.frame_len,
-                ),
+                },
             };
         }
         let sport: u16 = self.rng.gen_range(1024u16..65000);
         let dport: u16 = self.rng.gen_range(1u16..65000);
         match self.spec.kind {
-            TrafficKind::Ipv4Udp => {
-                let src = Ipv4Addr::from(self.rng.gen::<u32>() | 0x0100_0000);
-                let dst = Ipv4Addr::from(self.rng.gen::<u32>());
-                PacketBuilder::udp_v4(
-                    src_mac,
-                    dst_mac,
-                    src,
-                    dst,
-                    sport,
-                    dport,
-                    self.spec.frame_len,
-                )
-            }
+            TrafficKind::Ipv4Udp => Tuple::V4 {
+                src: Ipv4Addr::from(self.rng.gen::<u32>() | 0x0100_0000),
+                dst: Ipv4Addr::from(self.rng.gen::<u32>()),
+                sport,
+                dport,
+            },
             TrafficKind::Ipv6Udp => {
                 fn gua(hi: u64, lo: u64) -> Ipv6Addr {
                     Ipv6Addr::from(
                         ((u128::from(hi) << 64) | u128::from(lo)) >> 3 | (0b001u128 << 125),
                     )
                 }
-                let src = gua(self.rng.gen(), self.rng.gen());
-                let dst = gua(self.rng.gen(), self.rng.gen());
-                PacketBuilder::udp_v6(
-                    src_mac,
-                    dst_mac,
-                    src,
-                    dst,
+                Tuple::V6 {
+                    src: gua(self.rng.gen(), self.rng.gen()),
+                    dst: gua(self.rng.gen(), self.rng.gen()),
                     sport,
                     dport,
-                    self.spec.frame_len,
-                )
+                }
             }
         }
     }
@@ -328,6 +543,39 @@ mod tests {
                     ps_net::classify(&p.data, &[]),
                     ps_net::Verdict::FastPath,
                     "kind {kind:?}"
+                );
+            }
+        }
+    }
+
+    /// The template fast path must be byte-identical to the full
+    /// builder for every frame size and tuple — checksums included.
+    #[test]
+    fn template_frames_match_packetbuilder() {
+        let (sm, dm) = (MacAddr::local(1), MacAddr::local(2));
+        let mut r = ps_rng::Rng::seed_from_u64(0xF0F0);
+        for &len in &[60usize, 64, 65, 101, 128, 512, 1514] {
+            let t4 = FrameTemplate::new(TrafficKind::Ipv4Udp, len, sm, dm);
+            let t6 = FrameTemplate::new(TrafficKind::Ipv6Udp, len, sm, dm);
+            for _ in 0..50 {
+                let (s4, d4) = (
+                    Ipv4Addr::from(r.gen::<u32>()),
+                    Ipv4Addr::from(r.gen::<u32>()),
+                );
+                let (sp, dp) = (r.gen::<u16>(), r.gen::<u16>());
+                assert_eq!(
+                    t4.frame_v4(s4, d4, sp, dp),
+                    PacketBuilder::udp_v4(sm, dm, s4, d4, sp, dp, len),
+                    "v4 len={len} {s4}->{d4} {sp}->{dp}"
+                );
+                let (s6, d6) = (
+                    Ipv6Addr::from(r.gen::<u128>()),
+                    Ipv6Addr::from(r.gen::<u128>()),
+                );
+                assert_eq!(
+                    t6.frame_v6(s6, d6, sp, dp),
+                    PacketBuilder::udp_v6(sm, dm, s6, d6, sp, dp, len),
+                    "v6 len={len}"
                 );
             }
         }

@@ -2,10 +2,24 @@
 //!
 //! Events are ordered by `(time, sequence)`: two events scheduled for
 //! the same instant fire in scheduling order, which makes every run
-//! bit-for-bit reproducible regardless of heap internals.
+//! bit-for-bit reproducible regardless of queue internals.
+//!
+//! Internally the queue is three structures with one total order:
+//!
+//! * a **binary heap** holding arbitrary events;
+//! * a one-entry **next slot** caching an event known to precede
+//!   everything in the heap — the common "schedule the immediate next
+//!   arrival" pattern then never touches the heap at all;
+//! * **FIFO lanes** ([`Scheduler::at_fifo`]) for streams whose
+//!   completion times are nondecreasing (bandwidth/serialization
+//!   servers): appending to a sorted deque is O(1) where a heap push
+//!   plus pop costs two `O(log n)` sifts over a cache-hostile array.
+//!
+//! Every pop takes the `(time, seq)` minimum across all three, so the
+//! dispatch order is exactly the one a single global heap would give.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::Time;
 use crate::Model;
@@ -14,6 +28,13 @@ struct Entry<E> {
     time: Time,
     seq: u64,
     ev: E,
+}
+
+impl<E> Entry<E> {
+    #[inline]
+    fn key(&self) -> (Time, u64) {
+        (self.time, self.seq)
+    }
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -37,6 +58,12 @@ impl<E> Ord for Entry<E> {
 /// [`Model::handle`] so handlers can schedule follow-up events.
 pub struct Scheduler<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// When occupied, an event whose key precedes every heap entry
+    /// (lane heads may still precede it; `pop` checks).
+    next: Option<Entry<E>>,
+    /// FIFO lanes: each deque is sorted by construction (nondecreasing
+    /// times, increasing seq).
+    lanes: Vec<VecDeque<Entry<E>>>,
     seq: u64,
     now: Time,
 }
@@ -52,6 +79,8 @@ impl<E> Scheduler<E> {
     pub fn new() -> Self {
         Scheduler {
             heap: BinaryHeap::new(),
+            next: None,
+            lanes: Vec::new(),
             seq: 0,
             now: 0,
         }
@@ -66,6 +95,8 @@ impl<E> Scheduler<E> {
     /// Number of pending events.
     pub fn pending(&self) -> usize {
         self.heap.len()
+            + usize::from(self.next.is_some())
+            + self.lanes.iter().map(VecDeque::len).sum::<usize>()
     }
 
     /// Schedule `ev` at absolute time `t`.
@@ -81,11 +112,65 @@ impl<E> Scheduler<E> {
             self.now
         );
         self.seq += 1;
-        self.heap.push(Reverse(Entry {
+        let e = Entry {
             time: t,
             seq: self.seq,
             ev,
-        }));
+        };
+        // Keep the slot holding a key that precedes the whole heap:
+        // a smaller event displaces the occupant into the heap; with
+        // the slot empty, only an event preceding the heap root may
+        // claim it.
+        match &self.next {
+            Some(n) if e.key() < n.key() => {
+                let old = self.next.replace(e).expect("occupied");
+                self.heap.push(Reverse(old));
+            }
+            Some(_) => self.heap.push(Reverse(e)),
+            None => {
+                if self.heap.peek().is_none_or(|Reverse(h)| e.key() < h.key()) {
+                    self.next = Some(e);
+                } else {
+                    self.heap.push(Reverse(e));
+                }
+            }
+        }
+    }
+
+    /// Schedule `ev` at absolute time `t` on FIFO lane `lane`,
+    /// equivalent to [`Scheduler::at`] in every observable way.
+    ///
+    /// Lanes suit event streams whose times are nondecreasing — DMA
+    /// or wire completions out of a bandwidth server. Lanes are
+    /// created on first use.
+    ///
+    /// # Panics
+    /// Panics if `t` is in the past, or precedes the last event
+    /// already queued on this lane (the lane contract).
+    pub fn at_fifo(&mut self, lane: usize, t: Time, ev: E) {
+        assert!(
+            t >= self.now,
+            "event scheduled in the past: t={} now={}",
+            t,
+            self.now
+        );
+        if lane >= self.lanes.len() {
+            self.lanes.resize_with(lane + 1, VecDeque::new);
+        }
+        let q = &mut self.lanes[lane];
+        if let Some(back) = q.back() {
+            assert!(
+                back.time <= t,
+                "fifo lane {lane} not monotone: {} then {t}",
+                back.time
+            );
+        }
+        self.seq += 1;
+        q.push_back(Entry {
+            time: t,
+            seq: self.seq,
+            ev,
+        });
     }
 
     /// Schedule `ev` after a delay of `d` nanoseconds.
@@ -99,12 +184,68 @@ impl<E> Scheduler<E> {
         self.at(self.now, ev);
     }
 
+    /// Key of the earliest pending event, across all three structures.
+    fn peek_key(&self) -> Option<(Time, u64)> {
+        let mut best = match &self.next {
+            Some(n) => Some(n.key()),
+            None => self.heap.peek().map(|Reverse(h)| h.key()),
+        };
+        for q in &self.lanes {
+            if let Some(h) = q.front() {
+                let k = h.key();
+                if best.is_none_or(|b| k < b) {
+                    best = Some(k);
+                }
+            }
+        }
+        best
+    }
+
+    /// Time of the earliest pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<Time> {
+        self.peek_key().map(|(t, _)| t)
+    }
+
     fn pop(&mut self) -> Option<(Time, E)> {
-        self.heap.pop().map(|Reverse(e)| {
-            debug_assert!(e.time >= self.now);
-            self.now = e.time;
-            (e.time, e.ev)
-        })
+        self.pop_at_or_before(Time::MAX)
+    }
+
+    /// Pop the earliest event unless its time exceeds `deadline`.
+    /// One scan decides both "is there a due event" and "which one" —
+    /// the driver loop would otherwise pay the three-structure scan
+    /// twice per dispatch (peek, then pop).
+    fn pop_at_or_before(&mut self, deadline: Time) -> Option<(Time, E)> {
+        /// Where the minimum lives.
+        enum Src {
+            Slot,
+            Heap,
+            Lane(usize),
+        }
+        let mut best = match &self.next {
+            Some(n) => Some((n.key(), Src::Slot)),
+            None => self.heap.peek().map(|Reverse(h)| (h.key(), Src::Heap)),
+        };
+        for (i, q) in self.lanes.iter().enumerate() {
+            if let Some(h) = q.front() {
+                let k = h.key();
+                if best.as_ref().is_none_or(|(b, _)| k < *b) {
+                    best = Some((k, Src::Lane(i)));
+                }
+            }
+        }
+        let (k, src) = best?;
+        if k.0 > deadline {
+            return None;
+        }
+        let e = match src {
+            Src::Slot => self.next.take().expect("slot occupied"),
+            Src::Heap => self.heap.pop().expect("heap non-empty").0,
+            Src::Lane(i) => self.lanes[i].pop_front().expect("lane non-empty"),
+        };
+        debug_assert!(e.time >= self.now);
+        self.now = e.time;
+        Some((e.time, e.ev))
     }
 }
 
@@ -157,11 +298,7 @@ impl<M: Model> Simulation<M> {
     /// number of events dispatched.
     pub fn run_until(&mut self, deadline: Time) -> u64 {
         let mut steps = 0;
-        while let Some(Reverse(head)) = self.sched.heap.peek() {
-            if head.time > deadline {
-                break;
-            }
-            let (_, ev) = self.sched.pop().expect("peeked entry vanished");
+        while let Some((_, ev)) = self.sched.pop_at_or_before(deadline) {
             self.model.handle(&mut self.sched, ev);
             steps += 1;
         }
@@ -259,6 +396,70 @@ mod tests {
         sim.schedule(10, 1);
         sim.run_until(1000);
         assert_eq!(sim.now(), 1000);
+    }
+
+    #[test]
+    fn fifo_lanes_interleave_with_heap_in_global_order() {
+        let mut sim = recorder(false);
+        // Lane 0: monotone stream; lane 1: another; heap: odd times.
+        sim.sched.at_fifo(0, 10, 1);
+        sim.sched.at_fifo(0, 30, 3);
+        sim.sched.at_fifo(1, 20, 2);
+        sim.schedule(15, 10);
+        sim.schedule(25, 20);
+        sim.schedule(5, 0);
+        sim.run_to_completion();
+        assert_eq!(
+            sim.model.seen,
+            vec![(5, 0), (10, 1), (15, 10), (20, 2), (25, 20), (30, 3)]
+        );
+    }
+
+    #[test]
+    fn fifo_lane_ties_fire_in_scheduling_order() {
+        // Same instant across lane, heap and slot: scheduling order
+        // (= seq order) decides, exactly as a single heap would.
+        let mut sim = recorder(false);
+        sim.schedule(5, 1); // slot
+        sim.sched.at_fifo(0, 5, 2);
+        sim.schedule(5, 3); // heap
+        sim.sched.at_fifo(0, 5, 4);
+        sim.run_to_completion();
+        assert_eq!(sim.model.seen, vec![(5, 1), (5, 2), (5, 3), (5, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not monotone")]
+    fn fifo_lane_rejects_time_regression() {
+        let mut sched: Scheduler<u32> = Scheduler::new();
+        sched.at_fifo(0, 10, 1);
+        sched.at_fifo(0, 9, 2);
+    }
+
+    #[test]
+    fn next_slot_displacement_keeps_order() {
+        // Exercise the slot: each new minimum displaces the previous
+        // occupant back into the heap.
+        let mut sim = recorder(false);
+        for &(t, v) in &[(50u64, 5u32), (40, 4), (30, 3), (20, 2), (10, 1)] {
+            sim.schedule(t, v);
+        }
+        sim.run_to_completion();
+        assert_eq!(
+            sim.model.seen,
+            vec![(10, 1), (20, 2), (30, 3), (40, 4), (50, 5)]
+        );
+    }
+
+    #[test]
+    fn pending_counts_all_structures() {
+        let mut sched: Scheduler<u32> = Scheduler::new();
+        sched.at(10, 1); // slot
+        sched.at(20, 2); // heap
+        sched.at_fifo(0, 15, 3); // lane
+        assert_eq!(sched.pending(), 3);
+        sched.pop();
+        assert_eq!(sched.pending(), 2);
     }
 
     #[test]
