@@ -4,6 +4,7 @@
 
 pub mod ablations;
 pub mod apps;
+pub mod faults;
 pub mod fig2;
 pub mod io;
 pub mod latency;

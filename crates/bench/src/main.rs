@@ -48,6 +48,21 @@ fn main() {
             }
         }
     }
+    // Fault-degradation sweep: exclusive mode like the baseline
+    // harness (fault plans and trace collectors are orthogonal; the
+    // sweep prints its own fault_summary tables).
+    if let Some(i) = args.iter().position(|a| a == "--faults") {
+        if i + 1 >= args.len() {
+            eprintln!("ps-bench: --faults needs a scenario (nic|corrupt|pcie|gpu|all)");
+            std::process::exit(2);
+        }
+        let scenario = args.remove(i + 1);
+        if let Err(e) = ex::faults::run_and_write(&scenario) {
+            eprintln!("ps-bench: degradation sweep failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let mut trace_out = None;
     if let Some(i) = args.iter().position(|a| a == "--trace-out") {
         if i + 1 >= args.len() {
@@ -60,6 +75,7 @@ fn main() {
     if args.is_empty() {
         eprintln!("usage: ps-bench [--trace-out t.json] <experiment>...   (or: ps-bench all)");
         eprintln!("       ps-bench --baseline [out.json] | --compare [base.json]");
+        eprintln!("       ps-bench --faults <nic|corrupt|pcie|gpu|all>   (degradation sweep)");
         eprintln!("experiments: spec table1 launch fig2 table3 fig5 fig6 numa");
         eprintln!("             fig11a fig11b fig11c fig11d fig12");
         eprintln!("             ablate-gather ablate-streams ablate-opportunistic");

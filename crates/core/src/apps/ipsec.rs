@@ -62,6 +62,10 @@ pub struct IpsecApp {
     stage: Staging,
     /// Packets encrypted (for reports).
     pub encrypted: u64,
+    /// Frames too damaged to encapsulate (fault injection can damage
+    /// a frame after classification); each is a counted drop, never a
+    /// panic.
+    pub malformed: u64,
 }
 
 impl IpsecApp {
@@ -77,6 +81,7 @@ impl IpsecApp {
             gpu: Vec::new(),
             stage: Staging::default(),
             encrypted: 0,
+            malformed: 0,
         }
     }
 
@@ -152,7 +157,14 @@ impl App for IpsecApp {
     fn process_cpu(&mut self, pkts: &mut Vec<Packet>) -> u64 {
         let mut cycles = 0;
         for p in pkts.iter_mut() {
-            let inner = &p.data[ETH_LEN..];
+            let Some(inner) = p.data.get(ETH_LEN..) else {
+                // No ESP sequence number is consumed, so the GPU path
+                // (which skips staging for the same frame) stays
+                // bit-identical.
+                self.malformed += 1;
+                p.out_port = None;
+                continue;
+            };
             cycles += Self::cpu_crypto_cycles(inner.len());
             let esp = encrypt_tunnel(&mut self.sa, inner);
             p.data = self.outer_frame(&esp);
@@ -184,8 +196,16 @@ impl App for IpsecApp {
         st.slots.clear();
         st.params.clear();
         st.params.resize(n * 16, 0);
-        for (i, p) in pkts[..n].iter().enumerate() {
-            let inner = &p.data[ETH_LEN..];
+        // Valid-packet cursor: a malformed frame takes a sentinel
+        // slot, consumes no ESP sequence number (bit-parity with the
+        // CPU path, which also skips it) and stages nothing.
+        let mut vi = 0usize;
+        for p in pkts[..n].iter() {
+            let Some(inner) = p.data.get(ETH_LEN..) else {
+                self.malformed += 1;
+                st.slots.push((usize::MAX, 0, 0));
+                continue;
+            };
             let seq = self.sa.seq;
             self.sa.seq = self.sa.seq.wrapping_add(1);
             let iv = SecurityAssociation::iv_for_seq(seq);
@@ -215,14 +235,15 @@ impl App for IpsecApp {
             let padded = st.packed.len().div_ceil(16) * 16;
             st.packed.resize(padded, 0);
 
-            st.params[i * 16..i * 16 + 4].copy_from_slice(&(base as u32).to_le_bytes());
-            st.params[i * 16 + 4..i * 16 + 8].copy_from_slice(&(ct_len as u32).to_le_bytes());
-            st.params[i * 16 + 8..i * 16 + 16].copy_from_slice(&iv);
+            st.params[vi * 16..vi * 16 + 4].copy_from_slice(&(base as u32).to_le_bytes());
+            st.params[vi * 16 + 4..vi * 16 + 8].copy_from_slice(&(ct_len as u32).to_le_bytes());
+            st.params[vi * 16 + 8..vi * 16 + 16].copy_from_slice(&iv);
             for blk in 0..(ct_len / 16) as u32 {
                 st.block_info
-                    .extend_from_slice(&((i as u32) << 8 | blk).to_le_bytes());
+                    .extend_from_slice(&((vi as u32) << 8 | blk).to_le_bytes());
             }
             st.slots.push((base, ct_len, total));
+            vi += 1;
         }
         assert!(
             st.packed.len() <= MAX_GATHER_BYTES,
@@ -252,9 +273,9 @@ impl App for IpsecApp {
             hmac: self.sa.hmac(),
             payload: payload_buf,
             params: params_buf,
-            n: n as u32,
+            n: vi as u32,
         };
-        let (hmac_done, _) = eng.launch(aes_done, &hmac, n as u32);
+        let (hmac_done, _) = eng.launch(aes_done, &hmac, vi as u32);
 
         // Copy-out the whole packed buffer.
         st.out.clear();
@@ -263,6 +284,10 @@ impl App for IpsecApp {
 
         for (i, p) in pkts[..n].iter_mut().enumerate() {
             let (base, _ct, total) = st.slots[i];
+            if base == usize::MAX {
+                p.out_port = None;
+                continue;
+            }
             let esp = &st.out[base..base + total];
             p.data = self.outer_frame(esp);
             p.out_port = Some(Self::out_port(p.in_port));

@@ -50,6 +50,10 @@ pub struct Ipv4App {
     hops: Vec<u8>,
     /// Lookups performed (for reports).
     pub lookups: u64,
+    /// Frames whose bytes no longer parsed at lookup time (fault
+    /// injection can damage a frame after classification); each is a
+    /// counted drop, never a panic.
+    pub malformed: u64,
 }
 
 impl Ipv4App {
@@ -63,6 +67,7 @@ impl Ipv4App {
             staged: Vec::new(),
             hops: Vec::new(),
             lookups: 0,
+            malformed: 0,
         }
     }
 
@@ -131,8 +136,18 @@ impl App for Ipv4App {
     fn process_cpu(&mut self, pkts: &mut Vec<Packet>) -> u64 {
         let mut accesses = 0u64;
         for p in pkts.iter_mut() {
-            let ip = Ipv4Packet::new_unchecked(&p.data[ETH_LEN..]);
-            let dst = u32::from(ip.dst());
+            let dst = match p
+                .data
+                .get(ETH_LEN..)
+                .and_then(|b| Ipv4Packet::new_checked(b).ok())
+            {
+                Some(ip) => u32::from(ip.dst()),
+                None => {
+                    self.malformed += 1;
+                    p.out_port = None;
+                    continue;
+                }
+            };
             let mut mem = CountingMem::new(SliceMem::new(self.table.image()));
             let hop = dir24::lookup(&self.table.layout(), &mut mem, dst);
             accesses += mem.accesses;
@@ -170,9 +185,23 @@ impl App for Ipv4App {
         // staging buffers are reused across launches.
         let mut staged = std::mem::take(&mut self.staged);
         staged.clear();
-        for p in &pkts[..n] {
-            let ip = Ipv4Packet::new_unchecked(&p.data[ETH_LEN..]);
-            staged.extend_from_slice(&u32::from(ip.dst()).to_le_bytes());
+        // Indices whose frames failed to re-parse (a sentinel address
+        // is staged so the batch layout stays fixed). Empty — and
+        // allocation-free — for healthy traffic.
+        let mut bad: Vec<usize> = Vec::new();
+        for (i, p) in pkts[..n].iter().enumerate() {
+            match p
+                .data
+                .get(ETH_LEN..)
+                .and_then(|b| Ipv4Packet::new_checked(b).ok())
+            {
+                Some(ip) => staged.extend_from_slice(&u32::from(ip.dst()).to_le_bytes()),
+                None => {
+                    self.malformed += 1;
+                    bad.push(i);
+                    staged.extend_from_slice(&0u32.to_le_bytes());
+                }
+            }
         }
         let h2d = eng.copy_h2d(ready, ioh, &input, 0, &staged);
         let kernel = Ipv4Kernel {
@@ -191,6 +220,9 @@ impl App for Ipv4App {
             let hop = u16::from_le_bytes([hops[i * 2], hops[i * 2 + 1]]);
             self.lookups += 1;
             p.out_port = (hop != NO_ROUTE).then_some(PortId(hop));
+        }
+        for &i in &bad {
+            pkts[i].out_port = None;
         }
         self.staged = staged;
         self.hops = hops;
@@ -302,6 +334,30 @@ mod tests {
         assert!(t > 0);
         assert_eq!(after[0].out_port, Some(PortId(5)), "post-update: new /24");
         assert_eq!(app.lookup_host(u32::from(dst)), 5, "CPU table agrees");
+    }
+
+    #[test]
+    fn truncated_frames_are_counted_drops_not_panics() {
+        // Damage after classification (what wire corruption can do):
+        // both execution paths must drop-and-count, never panic.
+        let mut app = Ipv4App::new(&routes());
+        let mut bad = packet(Ipv4Addr::new(10, 0, 0, 1));
+        bad.data.truncate(ETH_LEN + 3);
+        let mut pkts = vec![bad.clone(), packet(Ipv4Addr::new(10, 11, 1, 1))];
+        app.process_cpu(&mut pkts);
+        assert_eq!(app.malformed, 1);
+        assert_eq!(pkts.len(), 1, "malformed frame removed as a drop");
+        assert_eq!(pkts[0].out_port, Some(PortId(2)));
+
+        let dev = ps_gpu::GpuDevice::gtx480_with_mem(64 << 20);
+        let mut eng = GpuEngine::new(dev, PcieModel::new(PcieSpec::dual_ioh_x16()));
+        let mut ioh = Ioh::new(IohSpec::intel_5520_dual());
+        app.setup_gpu(0, &mut eng);
+        let mut pkts = vec![bad, packet(Ipv4Addr::new(10, 11, 1, 1))];
+        app.shade(0, &mut eng, &mut ioh, 0, &mut pkts);
+        assert_eq!(app.malformed, 2);
+        assert_eq!(pkts[0].out_port, None);
+        assert_eq!(pkts[1].out_port, Some(PortId(2)));
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct Ipv6App {
     hops: Vec<u8>,
     /// Lookups performed.
     pub lookups: u64,
+    /// Frames whose bytes no longer parsed at lookup time (fault
+    /// injection can damage a frame after classification); each is a
+    /// counted drop, never a panic.
+    pub malformed: u64,
 }
 
 impl Ipv6App {
@@ -53,6 +57,7 @@ impl Ipv6App {
             staged: Vec::new(),
             hops: Vec::new(),
             lookups: 0,
+            malformed: 0,
         }
     }
 
@@ -110,8 +115,18 @@ impl App for Ipv6App {
     fn process_cpu(&mut self, pkts: &mut Vec<Packet>) -> u64 {
         let mut accesses = 0u64;
         for p in pkts.iter_mut() {
-            let ip = Ipv6Packet::new_unchecked(&p.data[ETH_LEN..]);
-            let dst = u128::from(ip.dst());
+            let dst = match p
+                .data
+                .get(ETH_LEN..)
+                .and_then(|b| Ipv6Packet::new_checked(b).ok())
+            {
+                Some(ip) => u128::from(ip.dst()),
+                None => {
+                    self.malformed += 1;
+                    p.out_port = None;
+                    continue;
+                }
+            };
             let mut mem = CountingMem::new(SliceMem::new(self.table.image()));
             let hop = waldvogel::lookup(self.table.layout(), &mut mem, dst);
             accesses += mem.accesses;
@@ -139,9 +154,23 @@ impl App for Ipv6App {
         // Reused staging buffers: zero-alloc in steady state.
         let mut staged = std::mem::take(&mut self.staged);
         staged.clear();
-        for p in &pkts[..n] {
-            let ip = Ipv6Packet::new_unchecked(&p.data[ETH_LEN..]);
-            staged.extend_from_slice(&ip.dst().octets());
+        // Indices whose frames failed to re-parse (a sentinel address
+        // is staged so the batch layout stays fixed). Empty — and
+        // allocation-free — for healthy traffic.
+        let mut bad: Vec<usize> = Vec::new();
+        for (i, p) in pkts[..n].iter().enumerate() {
+            match p
+                .data
+                .get(ETH_LEN..)
+                .and_then(|b| Ipv6Packet::new_checked(b).ok())
+            {
+                Some(ip) => staged.extend_from_slice(&ip.dst().octets()),
+                None => {
+                    self.malformed += 1;
+                    bad.push(i);
+                    staged.extend_from_slice(&[0u8; 16]);
+                }
+            }
         }
         let h2d = eng.copy_h2d(ready, ioh, &input, 0, &staged);
         let kernel = Ipv6Kernel {
@@ -160,6 +189,9 @@ impl App for Ipv6App {
             let hop = u16::from_le_bytes([hops[i * 2], hops[i * 2 + 1]]);
             self.lookups += 1;
             p.out_port = (hop != NO_ROUTE).then_some(PortId(hop));
+        }
+        for &i in &bad {
+            pkts[i].out_port = None;
         }
         self.staged = staged;
         self.hops = hops;

@@ -53,6 +53,10 @@ pub struct OpenFlowApp {
     staged: Vec<u8>,
     /// Reused scatter buffer (hash + action + scan count).
     out: Vec<u8>,
+    /// Frames whose flow key no longer extracted at lookup time
+    /// (fault injection can damage a frame after classification);
+    /// each is a counted drop, never a panic.
+    pub malformed: u64,
 }
 
 impl OpenFlowApp {
@@ -63,6 +67,7 @@ impl OpenFlowApp {
             gpu: Vec::new(),
             staged: Vec::new(),
             out: Vec::new(),
+            malformed: 0,
         }
     }
 
@@ -127,7 +132,14 @@ impl App for OpenFlowApp {
         let mut cycles = 0;
         let probe = self.exact_probe_cycles();
         for p in pkts.iter_mut() {
-            let key = FlowKey::extract(p.in_port.0, &p.data).expect("pre-shaded");
+            let key = match FlowKey::extract(p.in_port.0, &p.data) {
+                Ok(k) => k,
+                Err(_) => {
+                    self.malformed += 1;
+                    p.out_port = None;
+                    continue;
+                }
+            };
             let r = self.switch.lookup(&key, p.len() as u64);
             cycles += HASH_CYCLES + probe + WILDCARD_ENTRY_CYCLES * r.wildcard_scanned as u64;
             self.apply(p, r.action);
@@ -153,8 +165,12 @@ impl App for OpenFlowApp {
         staged.clear();
         staged.resize(n * 32, 0);
         for (i, p) in pkts[..n].iter().enumerate() {
-            let key = FlowKey::extract(p.in_port.0, &p.data).expect("pre-shaded");
-            staged[i * 32..i * 32 + 31].copy_from_slice(&key.to_bytes());
+            // A malformed frame stages an all-zero key (the result is
+            // discarded below); counted once, here.
+            match FlowKey::extract(p.in_port.0, &p.data) {
+                Ok(key) => staged[i * 32..i * 32 + 31].copy_from_slice(&key.to_bytes()),
+                Err(_) => self.malformed += 1,
+            }
         }
         let h2d = eng.copy_h2d(ready, ioh, &input, 0, &staged);
         let kernel = OpenFlowKernel {
@@ -178,7 +194,10 @@ impl App for OpenFlowApp {
             let o = i * 8;
             let hash = u32::from_le_bytes(out[o..o + 4].try_into().expect("fixed"));
             let wild_action = u16::from_le_bytes([out[o + 4], out[o + 5]]);
-            let key = FlowKey::extract(p.in_port.0, &p.data).expect("pre-shaded");
+            let Ok(key) = FlowKey::extract(p.in_port.0, &p.data) else {
+                p.out_port = None;
+                continue;
+            };
             let action = match self
                 .switch
                 .exact

@@ -1,5 +1,6 @@
 //! Router configuration: the knobs the evaluation sweeps.
 
+use ps_fault::FaultSpec;
 use ps_hw::spec::Testbed;
 use ps_io::IoConfig;
 
@@ -44,6 +45,9 @@ pub struct RouterConfig {
     /// Device memory to allocate per simulated GPU (bytes). Sized to
     /// the workload to keep host memory use reasonable.
     pub gpu_mem_bytes: usize,
+    /// Fault injection: all-zero chances (the default) arm no plan
+    /// and leave the pipeline byte-identical to the fault-free seed.
+    pub faults: FaultSpec,
 }
 
 impl RouterConfig {
@@ -63,6 +67,7 @@ impl RouterConfig {
             opportunistic: false,
             opportunistic_threshold: 16,
             gpu_mem_bytes: 128 << 20,
+            faults: FaultSpec::none(),
         }
     }
 

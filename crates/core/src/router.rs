@@ -3,6 +3,7 @@
 
 use std::collections::VecDeque;
 
+use ps_fault::{FaultPlan, FaultStats, NicFault, ShadeFault};
 use ps_gpu::{GpuDevice, GpuEngine};
 use ps_hw::cpu::CpuModel;
 use ps_hw::ioh::{Direction, Ioh};
@@ -39,6 +40,9 @@ const RX_ADMIT_BACKLOG: Time = 20 * MICROS;
 /// Upper bound on the recycled frame-buffer / event-box pools; keeps
 /// a pathological burst from pinning memory forever.
 const POOL_CAP: usize = 8192;
+/// Driver timeout before the host notices a dead or escalated GPU
+/// batch and starts the CPU fallback.
+const FAULT_DETECT_NS: Time = 10 * MICROS;
 
 /// Router events.
 #[derive(Debug)]
@@ -107,6 +111,8 @@ pub struct RouterReport {
     pub ioh_h2d_gbit: Vec<f64>,
     /// NIC-FIFO drops (IOH admission) vs RX-ring tail drops.
     pub drop_split: (u64, u64),
+    /// Fault-injection ledger (all zero when no plan was armed).
+    pub faults: FaultStats,
 }
 
 impl RouterReport {
@@ -177,6 +183,10 @@ pub struct Router<A: App> {
     /// the `Box` allocations themselves are the pooled resource.
     #[allow(clippy::vec_box)]
     free_boxes: Vec<Box<Packet>>,
+    /// Armed fault plan; [`None`] whenever the config's spec is
+    /// all-zero, so fault-free runs draw no randomness and emit no
+    /// trace events from this layer.
+    plan: Option<FaultPlan>,
 }
 
 impl<A: App> Router<A> {
@@ -257,6 +267,7 @@ impl<A: App> Router<A> {
             rx_packets: 0,
             free_bufs: Vec::new(),
             free_boxes: Vec::new(),
+            plan: cfg.faults.enabled().then(|| FaultPlan::new(cfg.faults)),
         }
     }
 
@@ -335,6 +346,10 @@ impl<A: App> Router<A> {
                 self.nic_drops,
                 self.rings.iter().map(|r| r.drops).sum::<u64>(),
             ),
+            faults: match &self.plan {
+                Some(p) => p.stats.clone(),
+                None => FaultStats::default(),
+            },
         }
     }
 
@@ -413,11 +428,41 @@ impl<A: App> Router<A> {
             // is built only if the NIC admits it.
             let node = self.node_of_port(meta.port);
             let wire_done = self.ports[meta.port.0 as usize].rx_arrival(meta.t, meta.len);
+            // Injected NIC faults (link-flap windows, starvation
+            // bursts) kill the frame at the MAC before the admission
+            // check; they consume RX wire time like any arrival but no
+            // fabric bandwidth.
+            let faulted = match self.plan.as_mut() {
+                Some(plan) => {
+                    let port = &mut self.ports[meta.port.0 as usize];
+                    if !port.link_up(wire_done) {
+                        plan.note_flap_drop(meta.port.0);
+                        port.fault_drops += 1;
+                        true
+                    } else {
+                        match plan.nic_fault(meta.port.0, wire_done) {
+                            Some(NicFault::LinkFlap { down_ns }) => {
+                                port.set_link_down(wire_done + down_ns);
+                                port.fault_drops += 1;
+                                true
+                            }
+                            Some(NicFault::Starve) => {
+                                port.fault_drops += 1;
+                                true
+                            }
+                            None => false,
+                        }
+                    }
+                }
+                None => false,
+            };
             // Descriptor starvation: drop in the NIC before the DMA if
             // the IOH's inbound backlog is past the posted-descriptor
             // horizon (dropped frames must not consume fabric
             // bandwidth).
-            if self.iohs[node].backlog(wire_done, Direction::DeviceToHost) <= RX_ADMIT_BACKLOG {
+            if !faulted
+                && self.iohs[node].backlog(wire_done, Direction::DeviceToHost) <= RX_ADMIT_BACKLOG
+            {
                 break (meta, node, wire_done);
             }
             self.nic_drops += 1;
@@ -462,6 +507,17 @@ impl<A: App> Router<A> {
         let buf = self.free_bufs.pop().unwrap_or_default();
         let mut p = self.gen.materialize_into(&meta, buf);
         p.arrival = dma_done;
+        // On-the-wire corruption: the frame was admitted and DMA'd,
+        // but its bytes arrive damaged. The flag lets every later
+        // drop or delivery settle against the fault ledger.
+        if let Some(plan) = self.plan.as_mut() {
+            if plan
+                .corrupt_frame(meta.port.0, wire_done, &mut p.data)
+                .is_some()
+            {
+                p.corrupted = true;
+            }
+        }
         let pkt = self.event_box(p);
         let ev = Ev::RxReady { worker, pkt };
         if crossed {
@@ -498,6 +554,11 @@ impl<A: App> Router<A> {
         let now = sched.now();
         let pkt = self.event_unbox(pkt);
         if let Err(p) = self.rings[worker].push(pkt) {
+            if p.corrupted {
+                if let Some(plan) = self.plan.as_mut() {
+                    plan.note_corrupt_dropped(1);
+                }
+            }
             self.reclaim_buf(p.data);
             return; // tail drop, counted by the ring
         }
@@ -549,7 +610,18 @@ impl<A: App> Router<A> {
             let bytes: u64 = batch.iter().map(|p| p.len() as u64).sum();
             let rx_cycles = self.cost.rx_batch_cycles(n, bytes, self.cfg.io.placement);
             let mut pkts = batch;
+            let corrupt_before = match &self.plan {
+                Some(_) => pkts.iter().filter(|p| p.corrupted).count() as u64,
+                None => 0,
+            };
             let pre = self.app.pre_shade(&mut pkts);
+            if let Some(plan) = self.plan.as_mut() {
+                // Corrupted frames the pre-shader rejected (malformed,
+                // bad checksum) or diverted off the fast path settle
+                // as counted drops.
+                let after = pkts.iter().filter(|p| p.corrupted).count() as u64;
+                plan.note_corrupt_dropped(corrupt_before - after);
+            }
             self.app_drops += pre.dropped;
             self.slow_path += pre.slow_path;
             let t1 = now + self.cycles_ns(rx_cycles + pre.cycles);
@@ -586,7 +658,15 @@ impl<A: App> Router<A> {
                 }
             };
             if use_cpu {
+                let corrupt_before = match &self.plan {
+                    Some(_) => pkts.iter().filter(|p| p.corrupted).count() as u64,
+                    None => 0,
+                };
                 let cycles = self.app.process_cpu(&mut pkts);
+                if let Some(plan) = self.plan.as_mut() {
+                    let after = pkts.iter().filter(|p| p.corrupted).count() as u64;
+                    plan.note_corrupt_dropped(corrupt_before - after);
+                }
                 let t2 = t1 + self.cycles_ns(cycles);
                 self.workers[w].busy_until = t2;
                 let n = pkts.len() as u64;
@@ -634,6 +714,15 @@ impl<A: App> Router<A> {
         let mut pkts = chunk.packets;
         // Application may have cleared out_port for drops.
         let before = pkts.len();
+        if self.plan.is_some() {
+            let dead = pkts
+                .iter()
+                .filter(|p| p.corrupted && p.out_port.is_none())
+                .count() as u64;
+            if let Some(plan) = self.plan.as_mut() {
+                plan.note_corrupt_dropped(dead);
+            }
+        }
         pkts.retain(|p| p.out_port.is_some());
         self.app_drops += (before - pkts.len()) as u64;
 
@@ -731,41 +820,126 @@ impl<A: App> Router<A> {
             ready,
             || vec![("chunks", take as u64), ("pkts", n)],
         );
-        let done = self.app.shade(
-            node,
-            &mut self.gpus[node],
-            &mut self.iohs[node],
-            ready,
-            &mut all,
-        );
-        ps_trace::complete(
-            ps_trace::Category::Stage,
-            "shade",
-            self.shade_lane(node),
-            ready,
-            done,
-            || vec![("pkts", n)],
-        );
-
-        // Scatter results back to per-worker output queues, moving
-        // the packets out of the gathered batch — no per-packet
-        // clones of the frame data.
-        let mut rest = all.into_iter();
-        for (worker, len, fetched_at) in splits {
-            let pkts: Vec<Packet> = rest.by_ref().take(len).collect();
-            let chunk = Chunk::new(worker, pkts, fetched_at);
-            self.workers[worker].done_queue.push_back((done, chunk));
-            self.wake_worker(sched, worker, done);
+        // Injected shading faults: a PCIe stall pushes the batch (and
+        // the node's fabric) back by its retry backoff; an abort or an
+        // exhausted retry budget sends the whole batch down the CPU
+        // fallback; a straggler stretches the launch.
+        let mut start = ready;
+        let mut fallback = false;
+        let mut straggle_pct = 0u32;
+        if let Some(plan) = self.plan.as_mut() {
+            match plan.shade_fault(node, ready) {
+                ShadeFault::None => {}
+                ShadeFault::PcieStall { stall_ns, escalate } => {
+                    self.iohs[node].inject_stall(ready, Direction::HostToDevice, stall_ns);
+                    start = ready + stall_ns;
+                    fallback = escalate;
+                }
+                ShadeFault::GpuAbort => fallback = true,
+                ShadeFault::Straggle { extra_pct } => straggle_pct = extra_pct,
+            }
         }
 
-        // With streams the master pipelines the next gather behind
-        // this one as soon as this gather's uploads are queued;
-        // without streams it blocks until the results are back.
-        self.masters[node].busy_until = if self.cfg.concurrent_copy {
-            ready.max(self.gpus[node].next_copy_slot())
+        if fallback {
+            // The GPU batch is lost: after the driver timeout the
+            // master re-runs the kernel functionally on the host at
+            // the calibrated CPU cost. `process_cpu` may *remove*
+            // packets the shader would only have unmarked, so the
+            // scatter walks survivors against each split's original
+            // id range (order is preserved).
+            let ids: Vec<u64> = all.iter().map(|p| p.id).collect();
+            let corrupt_before = all.iter().filter(|p| p.corrupted).count() as u64;
+            let cycles = self.app.process_cpu(&mut all);
+            let done = start + FAULT_DETECT_NS + self.cycles_ns(cycles);
+            if let Some(plan) = self.plan.as_mut() {
+                plan.note_cpu_fallback(ids.len() as u64);
+                let after = all.iter().filter(|p| p.corrupted).count() as u64;
+                plan.note_corrupt_dropped(corrupt_before - after);
+            }
+            self.app_drops += (ids.len() - all.len()) as u64;
+            ps_trace::complete(
+                ps_trace::Category::Stage,
+                "cpu_fallback",
+                self.shade_lane(node),
+                start,
+                done,
+                || vec![("pkts", n)],
+            );
+            let mut out: Vec<Vec<Packet>> = splits
+                .iter()
+                .map(|&(_, len, _)| Vec::with_capacity(len))
+                .collect();
+            let mut j = 0usize; // cursor into the original id sequence
+            let mut s = 0usize; // current split
+            let mut bound = splits[0].1;
+            for p in all {
+                while ids[j] != p.id {
+                    j += 1;
+                }
+                while j >= bound {
+                    s += 1;
+                    bound += splits[s].1;
+                }
+                out[s].push(p);
+                j += 1;
+            }
+            for ((worker, _, fetched_at), pkts) in splits.into_iter().zip(out) {
+                let chunk = Chunk::new(worker, pkts, fetched_at);
+                self.workers[worker].done_queue.push_back((done, chunk));
+                self.wake_worker(sched, worker, done);
+            }
+            // The master itself did the fallback work: it blocks
+            // until the batch is done regardless of stream mode.
+            self.masters[node].busy_until = done;
         } else {
-            done
-        };
+            let done = self.app.shade(
+                node,
+                &mut self.gpus[node],
+                &mut self.iohs[node],
+                start,
+                &mut all,
+            );
+            let done = if straggle_pct > 0 {
+                let extra = (done - start) * u64::from(straggle_pct) / 100;
+                // The straggling warp occupies the engines past the
+                // modeled completion, queueing the next launch too.
+                self.gpus[node].delay_engines(extra);
+                if let Some(plan) = self.plan.as_mut() {
+                    plan.note_straggle_ns(extra);
+                }
+                done + extra
+            } else {
+                done
+            };
+            ps_trace::complete(
+                ps_trace::Category::Stage,
+                "shade",
+                self.shade_lane(node),
+                start,
+                done,
+                || vec![("pkts", n)],
+            );
+
+            // Scatter results back to per-worker output queues, moving
+            // the packets out of the gathered batch — no per-packet
+            // clones of the frame data.
+            let mut rest = all.into_iter();
+            for (worker, len, fetched_at) in splits {
+                let pkts: Vec<Packet> = rest.by_ref().take(len).collect();
+                let chunk = Chunk::new(worker, pkts, fetched_at);
+                self.workers[worker].done_queue.push_back((done, chunk));
+                self.wake_worker(sched, worker, done);
+            }
+
+            // With streams the master pipelines the next gather behind
+            // this one as soon as this gather's uploads are queued;
+            // without streams it blocks until the results are back.
+            self.masters[node].busy_until = if self.cfg.concurrent_copy {
+                start.max(self.gpus[node].next_copy_slot())
+            } else {
+                done
+            };
+        }
         if !self.masters[node].input.is_empty() {
             let t = self.masters[node].busy_until;
             self.wake_master(sched, node, t);
@@ -788,6 +962,11 @@ impl<A: App> Model for Router<A> {
                     self.sink.deliver(now, &pkt);
                 }
                 let p = self.event_unbox(pkt);
+                if p.corrupted {
+                    if let Some(plan) = self.plan.as_mut() {
+                        plan.note_corrupt_delivered();
+                    }
+                }
                 self.reclaim_buf(p.data);
             }
         }
@@ -982,8 +1161,8 @@ mod tests {
         let f1 = ps_net::PacketBuilder::udp_v4(
             ps_net::ethernet::MacAddr::local(1),
             ps_net::ethernet::MacAddr::local(2),
-            "10.0.0.1".parse().unwrap(),
-            "10.0.0.2".parse().unwrap(),
+            "10.0.0.1".parse().expect("fixture src addr parses"),
+            "10.0.0.2".parse().expect("fixture dst addr parses"),
             100,
             200,
             64,
@@ -992,8 +1171,8 @@ mod tests {
         let f2 = ps_net::PacketBuilder::udp_v4(
             ps_net::ethernet::MacAddr::local(1),
             ps_net::ethernet::MacAddr::local(2),
-            "10.0.0.1".parse().unwrap(),
-            "10.0.0.2".parse().unwrap(),
+            "10.0.0.1".parse().expect("fixture src addr parses"),
+            "10.0.0.2".parse().expect("fixture dst addr parses"),
             100,
             201,
             64,

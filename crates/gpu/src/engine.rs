@@ -211,6 +211,16 @@ impl GpuEngine {
         (done, stats)
     }
 
+    /// Hold the execution engines `extra` ns past their current
+    /// horizon — an injected slow-warp straggler still occupying the
+    /// SMs after the batch's modeled completion, so the *next* launch
+    /// queues behind the overrun.
+    pub fn delay_engines(&mut self, extra: Time) {
+        self.exec_free += extra;
+        self.serial_free += extra;
+        self.kernel_busy += extra;
+    }
+
     /// Earliest time a newly submitted chunk could start its copy-in
     /// (in stream mode: when the upload engine frees — the moment the
     /// async CUDA calls of the previous chunk have been queued and its

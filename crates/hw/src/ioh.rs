@@ -86,6 +86,20 @@ impl Ioh {
         now + service
     }
 
+    /// Hold `dir` (and the shared bidirectional server) busy for `ns`
+    /// without moving bytes: an injected PCIe stall's retry window.
+    /// Queued NIC and GPU traffic behind the stall is pushed back,
+    /// which is exactly how a wedged copy starves the hub. Returns
+    /// when the stall clears.
+    pub fn inject_stall(&mut self, now: Time, dir: Direction, ns: Time) -> Time {
+        let dir_done = match dir {
+            Direction::DeviceToHost => self.d2h.stall(now, ns),
+            Direction::HostToDevice => self.h2d.stall(now, ns),
+        };
+        let comb_done = self.combined.stall(now, ns);
+        dir_done.max(comb_done)
+    }
+
     /// Backlog (ns) a transaction in `dir` would wait before starting.
     pub fn backlog(&self, now: Time, dir: Direction) -> Time {
         let d = match dir {

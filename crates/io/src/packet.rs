@@ -23,6 +23,10 @@ pub struct Packet {
     pub id: u64,
     /// Output port decided by the application ([`None`] until routed).
     pub out_port: Option<PortId>,
+    /// Set when fault injection damaged the frame on the wire; the
+    /// router attributes this packet's eventual drop or delivery back
+    /// to the fault ledger. Invisible to the applications.
+    pub corrupted: bool,
 }
 
 impl Packet {
@@ -36,6 +40,7 @@ impl Packet {
             gen_ts,
             id,
             out_port: None,
+            corrupted: false,
         }
     }
 

@@ -41,6 +41,12 @@ pub struct Port {
     pub tx: PacketCounter,
     /// Frames dropped at RX (ring full).
     pub rx_dropped: u64,
+    /// Frames killed at the MAC by injected faults (descriptor
+    /// starvation bursts, link-flap windows).
+    pub fault_drops: u64,
+    /// Carrier-down horizon (fault injection): frames whose last bit
+    /// lands before this instant are lost at the MAC.
+    link_down_until: Time,
 }
 
 impl Port {
@@ -61,7 +67,20 @@ impl Port {
             rx: PacketCounter::default(),
             tx: PacketCounter::default(),
             rx_dropped: 0,
+            fault_drops: 0,
+            link_down_until: 0,
         }
+    }
+
+    /// Take the link down until `until` (an injected flap). Extends
+    /// but never shortens an existing down window.
+    pub fn set_link_down(&mut self, until: Time) {
+        self.link_down_until = self.link_down_until.max(until);
+    }
+
+    /// Whether the link carries frames at `now`.
+    pub fn link_up(&self, now: Time) -> bool {
+        now >= self.link_down_until
     }
 
     /// Serialize an arriving frame of `len` bytes onto the RX wire;
@@ -145,6 +164,18 @@ mod tests {
         assert_eq!(p.rx.bytes, 192);
         assert_eq!(p.tx.packets, 1);
         assert_eq!(p.id, PortId(3));
+    }
+
+    #[test]
+    fn link_flap_window_extends_not_shrinks() {
+        let mut p = Port::new(PortId(0), 10 * GIGA);
+        assert!(p.link_up(0));
+        p.set_link_down(5_000);
+        assert!(!p.link_up(4_999));
+        assert!(p.link_up(5_000));
+        // A shorter flap cannot re-open the link early.
+        p.set_link_down(2_000);
+        assert!(!p.link_up(4_999));
     }
 
     #[test]

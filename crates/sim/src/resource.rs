@@ -94,6 +94,28 @@ impl BandwidthServer {
         done
     }
 
+    /// Occupy the server for `ns` without moving any bytes — a
+    /// retried transaction holding the link (fault injection). The
+    /// hold starts when the server next frees up and delays every
+    /// later transaction by `ns`; returns when the hold ends.
+    pub fn stall(&mut self, now: Time, ns: Time) -> Time {
+        let start = self.next_free.max(now);
+        let done = start + ns;
+        self.next_free = done;
+        self.busy += ns;
+        if let Some(name) = self.trace_name {
+            ps_trace::complete(
+                ps_trace::Category::Fabric,
+                name,
+                self.trace_lane,
+                start,
+                done,
+                || vec![("bytes", 0), ("wait", start - now)],
+            );
+        }
+        done
+    }
+
     /// Queueing delay a transaction submitted at `now` would incur
     /// before service starts.
     pub fn backlog_delay(&self, now: Time) -> Time {

@@ -25,6 +25,7 @@ pub fn pid_of(cat: Category) -> u32 {
         Category::Gpu => 2,
         Category::Fabric => 3,
         Category::Io => 4,
+        Category::Fault => 5,
     }
 }
 

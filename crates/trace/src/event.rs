@@ -25,15 +25,21 @@ pub enum Category {
     /// Packet I/O engine: RX/TX batch assembly and ring/buffer
     /// occupancy gauges (emitted by `ps-io` helpers).
     Io,
+    /// Injected faults: one instant per fault the `ps-fault` plan
+    /// fires (NIC starvation, link flaps, wire corruption, PCIe
+    /// stalls, GPU aborts/stragglers). Fault-free runs emit none, so
+    /// enabling the category costs nothing when no plan is armed.
+    Fault,
 }
 
 impl Category {
     /// All categories, in export order.
-    pub const ALL: [Category; 4] = [
+    pub const ALL: [Category; 5] = [
         Category::Stage,
         Category::Gpu,
         Category::Fabric,
         Category::Io,
+        Category::Fault,
     ];
 
     #[inline]
@@ -43,6 +49,7 @@ impl Category {
             Category::Gpu => 1 << 1,
             Category::Fabric => 1 << 2,
             Category::Io => 1 << 3,
+            Category::Fault => 1 << 4,
         }
     }
 
@@ -54,6 +61,7 @@ impl Category {
             Category::Gpu => "gpu",
             Category::Fabric => "fabric",
             Category::Io => "io",
+            Category::Fault => "fault",
         }
     }
 
@@ -64,6 +72,7 @@ impl Category {
             "gpu" => Some(Category::Gpu),
             "fabric" => Some(Category::Fabric),
             "io" => Some(Category::Io),
+            "fault" => Some(Category::Fault),
             _ => None,
         }
     }
@@ -75,7 +84,7 @@ pub struct CategoryMask(pub(crate) u8);
 
 impl CategoryMask {
     /// Every category enabled.
-    pub const ALL: CategoryMask = CategoryMask(0b1111);
+    pub const ALL: CategoryMask = CategoryMask(0b11111);
     /// No category enabled.
     pub const NONE: CategoryMask = CategoryMask(0);
 

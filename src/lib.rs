@@ -28,6 +28,7 @@
 //! | [`rng`] | `ps-rng` | deterministic RNG (SplitMix64 + xoshiro256**) |
 //! | [`check`] | `ps-check` | seeded property-testing harness |
 //! | [`trace`] | `ps-trace` | virtual-time pipeline tracing (see OBSERVABILITY.md) |
+//! | [`fault`] | `ps-fault` | seeded fault injection + graceful degradation |
 //!
 //! ## Quickstart
 //!
@@ -59,6 +60,7 @@
 pub use ps_check as check;
 pub use ps_core as core;
 pub use ps_crypto as crypto;
+pub use ps_fault as fault;
 pub use ps_gpu as gpu;
 pub use ps_hw as hw;
 pub use ps_io as io;
