@@ -15,7 +15,10 @@
 //! The workload grid covers the four applications at the two edge
 //! frame sizes (64 B and 1514 B) plus the two headline sweeps the
 //! perf work is judged on: the Figure 5 batching sweep (IPv4 minimal
-//! forwarding) and the IPsec 64 B sweep (both modes — crypto-bound).
+//! forwarding) and the IPsec 64 B sweep (both modes — crypto-bound),
+//! and a `shards/*` pair running one node-local workload at shards=1
+//! and shards=2 so the snapshot records what the parallel data plane
+//! (DESIGN.md §9) buys on the recording host.
 //! Virtual-time results are deterministic per seed, so the `pkts`
 //! column is byte-stable across builds and ns/pkt ratios compare
 //! apples to apples.
@@ -90,18 +93,37 @@ fn repeats() -> usize {
 /// taking the minimum wall across [`repeats`] runs. The app is
 /// rebuilt per run (outside the timed section), and the deterministic
 /// delivered count is asserted stable.
-fn run_once<A: App>(
+fn run_once<A: App + Send>(
     cfg: RouterConfig,
     mk_app: impl Fn() -> A,
     spec: TrafficSpec,
     window: u64,
+) -> (f64, u64) {
+    run_at_shards(
+        cfg,
+        mk_app,
+        spec,
+        window,
+        ps_core::router::shards_from_env(),
+    )
+}
+
+/// [`run_once`] with the shard count pinned explicitly instead of
+/// inherited from `PS_SHARDS` — the `shards/*` rows measure 1 vs 2
+/// within one grid run.
+fn run_at_shards<A: App + Send>(
+    cfg: RouterConfig,
+    mk_app: impl Fn() -> A,
+    spec: TrafficSpec,
+    window: u64,
+    shards: usize,
 ) -> (f64, u64) {
     let mut best = f64::INFINITY;
     let mut pkts = 0;
     for i in 0..repeats() {
         let app = mk_app();
         let t0 = Instant::now();
-        let report = Router::run(cfg, app, spec, window);
+        let report = Router::run_with_shards(cfg, app, spec, window, shards);
         let wall = t0.elapsed().as_secs_f64();
         best = best.min(wall);
         if i == 0 {
@@ -216,6 +238,30 @@ pub fn run_workloads() -> Vec<Sample> {
         out.push(sample("sweep/ipsec-64B", wall, pkts));
     }
 
+    // Sharded data plane (DESIGN.md §9): the same node-local workload
+    // sequentially and split across one OS thread per NUMA domain.
+    // The virtual-time result is byte-identical — asserted below — so
+    // the ns/pkt ratio of the two rows *is* the parallel speedup
+    // (≈1x on a single hardware thread; recorded honestly either way).
+    {
+        let mut delivered = [0u64; 2];
+        for (i, shards) in [1usize, 2].into_iter().enumerate() {
+            let (w, p) = run_at_shards(
+                RouterConfig::paper_cpu(),
+                || MinimalApp::new(ForwardPattern::SameNode, 8),
+                spec(TrafficKind::Ipv4Udp, 64, 80.0),
+                window,
+                shards,
+            );
+            delivered[i] = p;
+            out.push(sample(&format!("shards/minimal-64B-x{shards}"), w, p));
+        }
+        assert_eq!(
+            delivered[0], delivered[1],
+            "shards=1 and shards=2 must deliver identical virtual-time results"
+        );
+    }
+
     out
 }
 
@@ -234,6 +280,7 @@ pub fn to_json(samples: &[Sample], before: &[(String, f64)]) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"schema\": \"ps-bench-baseline/v1\",");
     let _ = writeln!(s, "  \"window_ms\": {},", window_ms());
+    let _ = writeln!(s, "  \"shards\": {},", ps_core::router::shards_from_env());
     s.push_str("  \"workloads\": [\n");
     for (i, w) in samples.iter().enumerate() {
         let _ = write!(

@@ -68,7 +68,7 @@ pub trait RunApp {
     fn run_input_sized(self: Box<Self>, cfg: RouterConfig, spec: TrafficSpec) -> f64;
 }
 
-impl<A: ps_core::App + 'static> RunApp for A {
+impl<A: ps_core::App + Send + 'static> RunApp for A {
     fn run(self: Box<Self>, cfg: RouterConfig, spec: TrafficSpec) -> f64 {
         Router::run(cfg, *self, spec, window_ms() * MILLIS).out_gbps()
     }

@@ -169,6 +169,7 @@ pub fn to_json(scenario: &str, seed: u64, rows: &[Row]) -> String {
     let _ = writeln!(s, "  \"scenario\": \"{scenario}\",");
     let _ = writeln!(s, "  \"seed\": {seed},");
     let _ = writeln!(s, "  \"window_ms\": {},", window_ms());
+    let _ = writeln!(s, "  \"shards\": {},", ps_core::router::shards_from_env());
     s.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(

@@ -12,6 +12,7 @@
 //! ps-bench --trace-out t.json fig6   # also dump the virtual-time trace
 //! ps-bench --baseline [out.json]     # record wall-clock ns/pkt snapshot
 //! ps-bench --compare [base.json]     # fail on wall-clock regressions
+//! ps-bench --shards 2 fig11a         # eligible runs on 2 OS threads
 //! ```
 //!
 //! `PS_BENCH_MS` sets the virtual milliseconds per throughput run
@@ -25,6 +26,23 @@ use ps_bench::timed;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--shards N` is sugar for PS_SHARDS=N: every Router::run in
+    // every mode below resolves its shard count from that variable,
+    // and the JSON artifact headers record it. Parsed first so it
+    // composes with the exclusive modes.
+    if let Some(i) = args.iter().position(|a| a == "--shards") {
+        if i + 1 >= args.len() {
+            eprintln!("ps-bench: --shards needs a count (>= 1)");
+            std::process::exit(2);
+        }
+        let n = args.remove(i + 1);
+        args.remove(i);
+        if n.parse::<usize>().map_or(true, |n| n < 1) {
+            eprintln!("ps-bench: --shards needs a numeric count >= 1, got {n}");
+            std::process::exit(2);
+        }
+        std::env::set_var("PS_SHARDS", &n);
+    }
     // Wall-clock regression harness: exclusive modes, no tracing
     // (a collector would perturb the very numbers being recorded).
     if let Some(i) = args.iter().position(|a| a == "--baseline") {
@@ -73,9 +91,10 @@ fn main() {
         args.remove(i);
     }
     if args.is_empty() {
-        eprintln!("usage: ps-bench [--trace-out t.json] <experiment>...   (or: ps-bench all)");
+        eprintln!("usage: ps-bench [--shards n] [--trace-out t.json] <experiment>...");
         eprintln!("       ps-bench --baseline [out.json] | --compare [base.json]");
         eprintln!("       ps-bench --faults <nic|corrupt|pcie|gpu|all>   (degradation sweep)");
+        eprintln!("       (--shards n, or PS_SHARDS=n, runs eligible workloads on n threads)");
         eprintln!("experiments: spec table1 launch fig2 table3 fig5 fig6 numa");
         eprintln!("             fig11a fig11b fig11c fig11d fig12");
         eprintln!("             ablate-gather ablate-streams ablate-opportunistic");

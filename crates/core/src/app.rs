@@ -19,6 +19,20 @@ pub struct PreShadeResult {
     pub slow_path: u64,
 }
 
+/// Where an application's output traffic goes, relative to the NUMA
+/// node a packet arrived on — the property that decides how the
+/// sharded runtime may parallelize a run (DESIGN.md §9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardAffinity {
+    /// Every packet leaves through a port on its RX node: NUMA
+    /// domains never interact, so shards run barrier-free.
+    NodeLocal,
+    /// Packets may leave through a remote node's port: shards must
+    /// exchange them at conservative-window barriers, with the QPI
+    /// hop as lookahead.
+    CrossNode,
+}
+
 /// A PacketShader application.
 ///
 /// The router calls, in order: [`App::pre_shade`] on a worker; then
@@ -61,5 +75,17 @@ pub trait App {
     fn post_shade_cycles(&self, n: usize) -> u64 {
         // Default: ~30 cycles per packet of result application.
         30 * n as u64
+    }
+
+    /// A fresh, equivalent copy of this (pre-run) app for one shard of
+    /// a parallel run, plus its traffic affinity. Return [`None`]
+    /// (the default) to opt out of sharded execution entirely —
+    /// correct for apps with global mutable state whose evolution
+    /// depends on seeing *all* traffic.
+    fn shard_replica(&self) -> Option<(Self, ShardAffinity)>
+    where
+        Self: Sized,
+    {
+        None
     }
 }

@@ -114,6 +114,13 @@ impl IpsecApp {
     }
 }
 
+/// The revalidation parse (see [`super::revalidate`]): the inner
+/// packet to tunnel is everything after the Ethernet header. Both
+/// crypto paths re-slice it from the raw frame.
+fn inner_frame(data: &[u8]) -> Option<&[u8]> {
+    data.get(ETH_LEN..)
+}
+
 impl App for IpsecApp {
     fn name(&self) -> &str {
         "ipsec"
@@ -157,11 +164,10 @@ impl App for IpsecApp {
     fn process_cpu(&mut self, pkts: &mut Vec<Packet>) -> u64 {
         let mut cycles = 0;
         for p in pkts.iter_mut() {
-            let Some(inner) = p.data.get(ETH_LEN..) else {
+            let Some(inner) = super::revalidate(&mut self.malformed, inner_frame(&p.data)) else {
                 // No ESP sequence number is consumed, so the GPU path
                 // (which skips staging for the same frame) stays
                 // bit-identical.
-                self.malformed += 1;
                 p.out_port = None;
                 continue;
             };
@@ -201,8 +207,7 @@ impl App for IpsecApp {
         // CPU path, which also skips it) and stages nothing.
         let mut vi = 0usize;
         for p in pkts[..n].iter() {
-            let Some(inner) = p.data.get(ETH_LEN..) else {
-                self.malformed += 1;
+            let Some(inner) = super::revalidate(&mut self.malformed, inner_frame(&p.data)) else {
                 st.slots.push((usize::MAX, 0, 0));
                 continue;
             };

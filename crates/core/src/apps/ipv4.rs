@@ -94,6 +94,13 @@ impl Ipv4App {
     }
 }
 
+/// The revalidation parse (see [`super::revalidate`]): both lookup
+/// paths re-read the destination address from the raw frame.
+fn dst_addr(data: &[u8]) -> Option<u32> {
+    let ip = Ipv4Packet::new_checked(data.get(ETH_LEN..)?).ok()?;
+    Some(u32::from(ip.dst()))
+}
+
 impl App for Ipv4App {
     fn name(&self) -> &str {
         "ipv4"
@@ -136,17 +143,9 @@ impl App for Ipv4App {
     fn process_cpu(&mut self, pkts: &mut Vec<Packet>) -> u64 {
         let mut accesses = 0u64;
         for p in pkts.iter_mut() {
-            let dst = match p
-                .data
-                .get(ETH_LEN..)
-                .and_then(|b| Ipv4Packet::new_checked(b).ok())
-            {
-                Some(ip) => u32::from(ip.dst()),
-                None => {
-                    self.malformed += 1;
-                    p.out_port = None;
-                    continue;
-                }
+            let Some(dst) = super::revalidate(&mut self.malformed, dst_addr(&p.data)) else {
+                p.out_port = None;
+                continue;
             };
             let mut mem = CountingMem::new(SliceMem::new(self.table.image()));
             let hop = dir24::lookup(&self.table.layout(), &mut mem, dst);
@@ -190,14 +189,9 @@ impl App for Ipv4App {
         // allocation-free — for healthy traffic.
         let mut bad: Vec<usize> = Vec::new();
         for (i, p) in pkts[..n].iter().enumerate() {
-            match p
-                .data
-                .get(ETH_LEN..)
-                .and_then(|b| Ipv4Packet::new_checked(b).ok())
-            {
-                Some(ip) => staged.extend_from_slice(&u32::from(ip.dst()).to_le_bytes()),
+            match super::revalidate(&mut self.malformed, dst_addr(&p.data)) {
+                Some(dst) => staged.extend_from_slice(&dst.to_le_bytes()),
                 None => {
-                    self.malformed += 1;
                     bad.push(i);
                     staged.extend_from_slice(&0u32.to_le_bytes());
                 }

@@ -73,6 +73,14 @@ impl Ipv6App {
     }
 }
 
+/// The revalidation parse (see [`super::revalidate`]): both lookup
+/// paths re-read the destination address (as its big-endian octets,
+/// which is also the GPU staging layout) from the raw frame.
+fn dst_addr(data: &[u8]) -> Option<[u8; 16]> {
+    let ip = Ipv6Packet::new_checked(data.get(ETH_LEN..)?).ok()?;
+    Some(ip.dst().octets())
+}
+
 impl App for Ipv6App {
     fn name(&self) -> &str {
         "ipv6"
@@ -115,18 +123,11 @@ impl App for Ipv6App {
     fn process_cpu(&mut self, pkts: &mut Vec<Packet>) -> u64 {
         let mut accesses = 0u64;
         for p in pkts.iter_mut() {
-            let dst = match p
-                .data
-                .get(ETH_LEN..)
-                .and_then(|b| Ipv6Packet::new_checked(b).ok())
-            {
-                Some(ip) => u128::from(ip.dst()),
-                None => {
-                    self.malformed += 1;
-                    p.out_port = None;
-                    continue;
-                }
+            let Some(dst) = super::revalidate(&mut self.malformed, dst_addr(&p.data)) else {
+                p.out_port = None;
+                continue;
             };
+            let dst = u128::from_be_bytes(dst);
             let mut mem = CountingMem::new(SliceMem::new(self.table.image()));
             let hop = waldvogel::lookup(self.table.layout(), &mut mem, dst);
             accesses += mem.accesses;
@@ -159,14 +160,9 @@ impl App for Ipv6App {
         // allocation-free — for healthy traffic.
         let mut bad: Vec<usize> = Vec::new();
         for (i, p) in pkts[..n].iter().enumerate() {
-            match p
-                .data
-                .get(ETH_LEN..)
-                .and_then(|b| Ipv6Packet::new_checked(b).ok())
-            {
-                Some(ip) => staged.extend_from_slice(&ip.dst().octets()),
+            match super::revalidate(&mut self.malformed, dst_addr(&p.data)) {
+                Some(dst) => staged.extend_from_slice(&dst),
                 None => {
-                    self.malformed += 1;
                     bad.push(i);
                     staged.extend_from_slice(&[0u8; 16]);
                 }

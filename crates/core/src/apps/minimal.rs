@@ -7,7 +7,7 @@ use ps_io::Packet;
 use ps_nic::port::PortId;
 use ps_sim::time::Time;
 
-use crate::app::{App, PreShadeResult};
+use crate::app::{App, PreShadeResult, ShardAffinity};
 
 /// Where minimal forwarding sends packets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +81,20 @@ impl App for MinimalApp {
 
     fn post_shade_cycles(&self, _n: usize) -> u64 {
         0
+    }
+
+    fn shard_replica(&self) -> Option<(Self, ShardAffinity)> {
+        let affinity = match self.pattern {
+            ForwardPattern::Echo | ForwardPattern::SameNode => ShardAffinity::NodeLocal,
+            ForwardPattern::NodeCrossing => ShardAffinity::CrossNode,
+        };
+        Some((
+            MinimalApp {
+                pattern: self.pattern,
+                total_ports: self.total_ports,
+            },
+            affinity,
+        ))
     }
 }
 

@@ -15,6 +15,22 @@ pub use ipv6::Ipv6App;
 pub use minimal::{ForwardPattern, MinimalApp};
 pub use openflow::OpenFlowApp;
 
+/// Account for re-parsing ("revalidating") a frame mid-pipeline.
+///
+/// Pre-shading already validated every frame, but fault injection can
+/// corrupt bytes *between* pipeline stages (ps-fault's corrupt-frame
+/// class), so no stage trusts a previous stage's parse. Each
+/// application re-parses in both its CPU path and its GPU staging
+/// loop and routes the result through here: a failure bumps the
+/// app's `malformed` counter exactly once, and the caller applies its
+/// own sentinel (drop the packet, stage a zero slot, …).
+pub(crate) fn revalidate<T>(malformed: &mut u64, parsed: Option<T>) -> Option<T> {
+    if parsed.is_none() {
+        *malformed += 1;
+    }
+    parsed
+}
+
 /// Effective DRAM latency (ns) for a random access into a multi-MB
 /// table image: row miss + TLB walk on Nehalem. Used by the CPU-only
 /// lookup paths; see EXPERIMENTS.md calibration notes.

@@ -132,13 +132,10 @@ impl App for OpenFlowApp {
         let mut cycles = 0;
         let probe = self.exact_probe_cycles();
         for p in pkts.iter_mut() {
-            let key = match FlowKey::extract(p.in_port.0, &p.data) {
-                Ok(k) => k,
-                Err(_) => {
-                    self.malformed += 1;
-                    p.out_port = None;
-                    continue;
-                }
+            let parsed = FlowKey::extract(p.in_port.0, &p.data).ok();
+            let Some(key) = super::revalidate(&mut self.malformed, parsed) else {
+                p.out_port = None;
+                continue;
             };
             let r = self.switch.lookup(&key, p.len() as u64);
             cycles += HASH_CYCLES + probe + WILDCARD_ENTRY_CYCLES * r.wildcard_scanned as u64;
@@ -167,9 +164,9 @@ impl App for OpenFlowApp {
         for (i, p) in pkts[..n].iter().enumerate() {
             // A malformed frame stages an all-zero key (the result is
             // discarded below); counted once, here.
-            match FlowKey::extract(p.in_port.0, &p.data) {
-                Ok(key) => staged[i * 32..i * 32 + 31].copy_from_slice(&key.to_bytes()),
-                Err(_) => self.malformed += 1,
+            let parsed = FlowKey::extract(p.in_port.0, &p.data).ok();
+            if let Some(key) = super::revalidate(&mut self.malformed, parsed) {
+                staged[i * 32..i * 32 + 31].copy_from_slice(&key.to_bytes());
             }
         }
         let h2d = eng.copy_h2d(ready, ioh, &input, 0, &staged);

@@ -32,7 +32,7 @@ pub mod config;
 pub mod kernels;
 pub mod router;
 
-pub use app::{App, PreShadeResult};
+pub use app::{App, PreShadeResult, ShardAffinity};
 pub use chunk::Chunk;
 pub use config::{Mode, RouterConfig};
 pub use router::{Router, RouterReport};

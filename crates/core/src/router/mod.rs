@@ -1,0 +1,260 @@
+//! The event-driven router: workers, masters, NICs, IOHs and GPUs
+//! composed into one deterministic simulation (Figures 7 and 9).
+//!
+//! The module is split along the paper's own NUMA seam (§3.2):
+//!
+//! * `node` — `NodeShard`: every hardware resource a NUMA domain
+//!   owns (NIC ports, IOH, GPU, worker cores, master, RX rings), held
+//!   *exclusively* so shard-parallel execution is an ownership fact,
+//!   not a convention;
+//! * `rx` — the admission side: generator arrivals, NIC RX, faults,
+//!   RX DMA and the interrupt into a worker;
+//! * `dispatch` — the event enum, the worker-side handlers
+//!   (fetch/pre-shade/process/post-shade/TX) and the event dispatch;
+//! * `master` — the master loop: gather, shade (GPU or CPU
+//!   fallback), scatter;
+//! * `stats` — per-run counters and the deterministic cross-shard
+//!   report merge;
+//! * `report` — [`RouterReport`], the public result type;
+//! * `parallel` — the execution policy: when a run may split into
+//!   per-NUMA-domain shards on OS threads (`PS_SHARDS`, DESIGN.md §9)
+//!   and the conservative-window plumbing over [`ps_sim::shard`].
+//!
+//! This file holds the [`Router`] aggregate: construction, the
+//! resource pools, and the run entry points.
+
+mod dispatch;
+mod master;
+mod node;
+mod parallel;
+mod report;
+mod rx;
+mod stats;
+#[cfg(test)]
+mod tests;
+
+pub use dispatch::{rss_hash, Ev};
+pub use parallel::shards_from_env;
+pub use report::RouterReport;
+
+use ps_fault::FaultPlan;
+use ps_io::Packet;
+use ps_nic::port::PortId;
+use ps_nic::ring::Ring;
+use ps_pktgen::{Generator, Sink, TrafficSpec};
+use ps_sim::time::Time;
+use ps_sim::Simulation;
+
+use crate::app::App;
+use crate::config::RouterConfig;
+
+use node::{MasterState, NodeShard, WorkerState};
+use parallel::CrossTx;
+use stats::RunStats;
+
+/// Upper bound on the recycled frame-buffer / event-box pools; keeps
+/// a pathological burst from pinning memory forever.
+const POOL_CAP: usize = 8192;
+
+/// The router model.
+pub struct Router<A: App> {
+    cfg: RouterConfig,
+    app: A,
+    gen: Generator,
+    /// The measurement sink.
+    pub sink: Sink,
+    /// One shard of hardware per NUMA domain; all port/worker/ring
+    /// indexing goes through the accessors below, which map the global
+    /// ids used by events onto `(node, local)` pairs.
+    nodes: Vec<NodeShard>,
+    cost: ps_io::cost::CostModel,
+    cpu: ps_hw::cpu::CpuModel,
+    stop_at: Time,
+    /// Counters only accumulate from this instant (warm-up excluded).
+    measure_from: Time,
+    stats: RunStats,
+    /// Recycled frame buffers: delivered and tail-dropped packets
+    /// return their `data` allocation here, and the generator
+    /// materializes new frames into them — the steady state allocates
+    /// no per-packet buffers.
+    free_bufs: Vec<Vec<u8>>,
+    /// Recycled event boxes for [`Ev::RxReady`] / [`Ev::TxDone`] —
+    /// the `Box` allocations themselves are the pooled resource.
+    #[allow(clippy::vec_box)]
+    free_boxes: Vec<Box<Packet>>,
+    /// Armed fault plan; [`None`] whenever the config's spec is
+    /// all-zero, so fault-free runs draw no randomness and emit no
+    /// trace events from this layer.
+    plan: Option<FaultPlan>,
+    /// `Some((index, count))` when this router is one shard of a
+    /// parallel run: it then only admits packets whose RX node it
+    /// hosts (`node % count == index`).
+    shard: Option<(usize, usize)>,
+    /// True when the parallel run uses conservative windows (cross-IOH
+    /// traffic present): cross-node TX must leave through
+    /// [`parallel::CrossTx`] messages instead of being simulated
+    /// inline, and `Gen` may not free-run past a window boundary.
+    cross_windowed: bool,
+    /// Cross-IOH packets awaiting the next window barrier.
+    pending_cross: Vec<CrossTx>,
+}
+
+impl<A: App> Router<A> {
+    /// Build a router; `stop_at` bounds packet generation.
+    pub fn new(cfg: RouterConfig, mut app: A, spec: TrafficSpec, stop_at: Time) -> Router<A> {
+        assert_eq!(
+            spec.ports, cfg.ports,
+            "traffic spec and router must agree on port count"
+        );
+        let nodes = (0..cfg.nodes)
+            .map(|node| NodeShard::new(&cfg, node, &mut app))
+            .collect();
+        Router {
+            cfg,
+            app,
+            gen: Generator::new(spec),
+            sink: Sink::new(),
+            nodes,
+            cost: ps_io::cost::CostModel::default(),
+            cpu: ps_hw::cpu::CpuModel::new(cfg.testbed.cpu),
+            stop_at,
+            measure_from: stop_at / 5,
+            stats: RunStats::default(),
+            free_bufs: Vec::new(),
+            free_boxes: Vec::new(),
+            plan: cfg.faults.enabled().then(|| FaultPlan::new(cfg.faults)),
+            shard: None,
+            cross_windowed: false,
+            pending_cross: Vec::new(),
+        }
+    }
+
+    /// Run a configured router for `duration` and report. The shard
+    /// count comes from the `PS_SHARDS` environment variable (default
+    /// 1); see [`Router::run_with_shards`] for the policy.
+    pub fn run(cfg: RouterConfig, app: A, spec: TrafficSpec, duration: Time) -> RouterReport
+    where
+        A: Send,
+    {
+        Self::run_with_shards(cfg, app, spec, duration, parallel::shards_from_env())
+    }
+
+    /// Run with an explicit shard-count request.
+    ///
+    /// The request is only that — a request. The execution policy
+    /// decides whether the workload can execute as per-NUMA-domain
+    /// shards on OS threads (the app must be replicable, the run
+    /// untraced and fault-free, placement NUMA-aware); everything
+    /// else takes the sequential path below, byte-identical to the
+    /// pre-shard implementation. Virtual-time results are identical
+    /// at *every* shard count (pinned by `tests/shards.rs`); only
+    /// wall-clock time changes.
+    pub fn run_with_shards(
+        cfg: RouterConfig,
+        app: A,
+        spec: TrafficSpec,
+        duration: Time,
+        shards: usize,
+    ) -> RouterReport
+    where
+        A: Send,
+    {
+        match parallel::plan(&cfg, app, shards) {
+            parallel::ExecPlan::Sequential(app) => {
+                let router = Router::new(cfg, app, spec, duration);
+                let mut sim = Simulation::new(router);
+                sim.schedule(0, Ev::Gen);
+                // Measure exactly [0, duration]: packets still in
+                // flight at the deadline do not count (steady-state
+                // occupancy is small relative to any measurement
+                // window).
+                sim.run_until(duration);
+                let window = duration - sim.model.measure_from;
+                sim.model.report(window)
+            }
+            parallel::ExecPlan::Parallel { apps, windowed } => {
+                parallel::run_parallel(cfg, apps, spec, duration, windowed)
+            }
+        }
+    }
+
+    /// Access the application (post-run inspection).
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Return a frame buffer to the recycling pool.
+    fn reclaim_buf(&mut self, buf: Vec<u8>) {
+        if self.free_bufs.len() < POOL_CAP {
+            self.free_bufs.push(buf);
+        }
+    }
+
+    /// Box `p` for an event, reusing a recycled box when available.
+    fn event_box(&mut self, p: Packet) -> Box<Packet> {
+        match self.free_boxes.pop() {
+            Some(mut b) => {
+                *b = p;
+                b
+            }
+            None => Box::new(p),
+        }
+    }
+
+    /// Take the packet out of an event box and recycle the box.
+    fn event_unbox(&mut self, mut b: Box<Packet>) -> Packet {
+        let p = std::mem::replace(&mut *b, Packet::new(0, Vec::new(), PortId(0), 0));
+        if self.free_boxes.len() < POOL_CAP {
+            self.free_boxes.push(b);
+        }
+        p
+    }
+
+    // Global-id accessors: events address workers, rings and ports by
+    // the same flat ids the pre-shard router used; the node-sharded
+    // layout is `(id / per_node, id % per_node)`.
+
+    fn worker_node(&self, w: usize) -> usize {
+        w / self.cfg.workers_per_node
+    }
+
+    fn worker(&self, w: usize) -> &WorkerState {
+        &self.nodes[w / self.cfg.workers_per_node].workers[w % self.cfg.workers_per_node]
+    }
+
+    fn worker_mut(&mut self, w: usize) -> &mut WorkerState {
+        let per = self.cfg.workers_per_node;
+        &mut self.nodes[w / per].workers[w % per]
+    }
+
+    fn ring(&self, w: usize) -> &Ring<Packet> {
+        &self.nodes[w / self.cfg.workers_per_node].rings[w % self.cfg.workers_per_node]
+    }
+
+    fn ring_mut(&mut self, w: usize) -> &mut Ring<Packet> {
+        let per = self.cfg.workers_per_node;
+        &mut self.nodes[w / per].rings[w % per]
+    }
+
+    fn master_mut(&mut self, node: usize) -> &mut MasterState {
+        &mut self.nodes[node].master
+    }
+
+    fn port_mut(&mut self, p: PortId) -> &mut ps_nic::port::Port {
+        let per = self.cfg.ports_per_node() as usize;
+        &mut self.nodes[p.0 as usize / per].ports[p.0 as usize % per]
+    }
+
+    fn node_of_port(&self, port: PortId) -> usize {
+        (port.0 / self.cfg.ports_per_node()) as usize
+    }
+
+    /// Does this router (shard) host `node`? Always true outside a
+    /// parallel run.
+    fn hosted(&self, node: usize) -> bool {
+        match self.shard {
+            Some((idx, count)) => node % count == idx,
+            None => true,
+        }
+    }
+}

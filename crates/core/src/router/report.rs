@@ -1,0 +1,69 @@
+//! [`RouterReport`]: the public result of one router run.
+
+use ps_fault::FaultStats;
+use ps_sim::stats::{Histogram, PacketCounter, ETHERNET_OVERHEAD_BYTES};
+use ps_sim::time::Time;
+
+/// Aggregated run statistics.
+#[derive(Debug)]
+pub struct RouterReport {
+    /// Virtual-time window simulated.
+    pub window: Time,
+    /// Packets offered by the generator.
+    pub offered: PacketCounter,
+    /// Packets delivered back to the sink.
+    pub delivered: PacketCounter,
+    /// Round-trip latency (ns).
+    pub latency: Histogram,
+    /// RX-ring tail drops.
+    pub rx_drops: u64,
+    /// Packets dropped by the application (no route, TTL, checksum).
+    pub app_drops: u64,
+    /// Packets diverted to the host stack.
+    pub slow_path: u64,
+    /// GPU kernels launched (both devices).
+    pub gpu_kernels: u64,
+    /// Mean packets per shading launch.
+    pub mean_shade_batch: f64,
+    /// Mean packets per RX fetch.
+    pub mean_rx_batch: f64,
+    /// Bytes served per IOH, device->host (Gbit over the window).
+    pub ioh_d2h_gbit: Vec<f64>,
+    /// Bytes served per IOH, host->device.
+    pub ioh_h2d_gbit: Vec<f64>,
+    /// NIC-FIFO drops (IOH admission) vs RX-ring tail drops.
+    pub drop_split: (u64, u64),
+    /// Fault-injection ledger (all zero when no plan was armed).
+    pub faults: FaultStats,
+}
+
+impl RouterReport {
+    /// Delivered throughput in the paper's metric.
+    pub fn out_gbps(&self) -> f64 {
+        self.delivered
+            .gbps_with_overhead(self.window, ETHERNET_OVERHEAD_BYTES)
+    }
+
+    /// Offered load in the paper's metric.
+    pub fn in_gbps(&self) -> f64 {
+        self.offered
+            .gbps_with_overhead(self.window, ETHERNET_OVERHEAD_BYTES)
+    }
+
+    /// Delivered throughput measured at the *input* frame size — the
+    /// paper's IPsec metric ("we take input throughput as a metric
+    /// rather than output throughput", §6.2.4), which factors out the
+    /// ESP expansion.
+    pub fn out_gbps_input_sized(&self, input_frame_len: usize) -> f64 {
+        let bits = self.delivered.packets * (ps_net::wire_len(input_frame_len) as u64) * 8;
+        ps_sim::time::rate_per_sec(bits, self.window) / 1e9
+    }
+
+    /// Delivered fraction.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.offered.packets == 0 {
+            return 1.0;
+        }
+        self.delivered.packets as f64 / self.offered.packets as f64
+    }
+}

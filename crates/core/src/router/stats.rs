@@ -1,0 +1,163 @@
+//! Per-run counters and the deterministic cross-shard report merge.
+//!
+//! All of the router's scalar statistics live in [`RunStats`] so that
+//! a parallel run can combine shards with plain commutative sums —
+//! the merged [`super::RouterReport`] is a pure function of the
+//! per-shard virtual-time results, independent of thread timing.
+
+use ps_fault::FaultStats;
+use ps_sim::stats::{Histogram, PacketCounter};
+use ps_sim::time::Time;
+
+use crate::app::App;
+
+use super::report::RouterReport;
+use super::Router;
+
+/// The counters the data plane accumulates during a run. Every field
+/// is a sum (or a counter of sums), so merging shards is field-wise
+/// addition.
+#[derive(Debug, Default)]
+pub(crate) struct RunStats {
+    /// Packets offered by the generator inside the measurement window.
+    pub offered: PacketCounter,
+    /// Drops in the NIC FIFO (descriptor starvation under overload).
+    pub nic_drops: u64,
+    /// Packets dropped by the application.
+    pub app_drops: u64,
+    /// Packets diverted to the host slow path.
+    pub slow_path: u64,
+    /// Shading launches and the packets they carried.
+    pub shade_batches: u64,
+    /// Packets across all shading launches.
+    pub shade_packets: u64,
+    /// RX fetches and the packets they carried.
+    pub rx_batches: u64,
+    /// Packets across all RX fetches.
+    pub rx_packets: u64,
+}
+
+fn mean(packets: u64, batches: u64) -> f64 {
+    if batches == 0 {
+        0.0
+    } else {
+        packets as f64 / batches as f64
+    }
+}
+
+impl<A: App> Router<A> {
+    /// Build the report over measurement window `window`.
+    pub fn report(&self, window: Time) -> RouterReport {
+        let ring_drops: u64 = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.rings.iter())
+            .map(|r| r.drops)
+            .sum();
+        RouterReport {
+            window,
+            offered: self.stats.offered,
+            delivered: self.sink.delivered,
+            latency: self.sink.latency.clone(),
+            rx_drops: self.stats.nic_drops + ring_drops,
+            app_drops: self.stats.app_drops,
+            slow_path: self.stats.slow_path,
+            gpu_kernels: self
+                .nodes
+                .iter()
+                .filter_map(|n| n.gpu.as_ref())
+                .map(|g| g.kernels_launched)
+                .sum(),
+            mean_shade_batch: mean(self.stats.shade_packets, self.stats.shade_batches),
+            mean_rx_batch: mean(self.stats.rx_packets, self.stats.rx_batches),
+            ioh_d2h_gbit: self
+                .nodes
+                .iter()
+                .map(|n| n.ioh.d2h_bytes() as f64 * 8.0 / window as f64)
+                .collect(),
+            ioh_h2d_gbit: self
+                .nodes
+                .iter()
+                .map(|n| n.ioh.h2d_bytes() as f64 * 8.0 / window as f64)
+                .collect(),
+            drop_split: (self.stats.nic_drops, ring_drops),
+            faults: match &self.plan {
+                Some(p) => p.stats.clone(),
+                None => FaultStats::default(),
+            },
+        }
+    }
+}
+
+/// Deterministically merge the shards of a parallel run into one
+/// report. Every combined quantity is a commutative, associative fold
+/// (counter sums, bucket-wise histogram addition, element-wise IOH
+/// byte sums), so the result does not depend on shard count or thread
+/// interleaving — `tests/shards.rs` pins reports at shards ∈ {1,2,4}
+/// against each other.
+///
+/// Parallel runs never arm a fault plan (faulted runs are planned
+/// sequential), so the merged ledger is all-zero by construction.
+pub(crate) fn merged_report<A: App>(shards: &[Router<A>], window: Time) -> RouterReport {
+    let mut offered = PacketCounter::default();
+    let mut delivered = PacketCounter::default();
+    let mut latency = Histogram::new();
+    let mut nic_drops = 0u64;
+    let mut ring_drops = 0u64;
+    let mut app_drops = 0u64;
+    let mut slow_path = 0u64;
+    let mut gpu_kernels = 0u64;
+    let mut shade = (0u64, 0u64); // (packets, batches)
+    let mut rx = (0u64, 0u64);
+    let nodes = shards.first().map_or(0, |s| s.nodes.len());
+    let mut d2h = vec![0.0f64; nodes];
+    let mut h2d = vec![0.0f64; nodes];
+    for s in shards {
+        offered.merge(&s.stats.offered);
+        delivered.merge(&s.sink.delivered);
+        latency.merge(&s.sink.latency);
+        nic_drops += s.stats.nic_drops;
+        ring_drops += s
+            .nodes
+            .iter()
+            .flat_map(|n| n.rings.iter())
+            .map(|r| r.drops)
+            .sum::<u64>();
+        app_drops += s.stats.app_drops;
+        slow_path += s.stats.slow_path;
+        gpu_kernels += s
+            .nodes
+            .iter()
+            .filter_map(|n| n.gpu.as_ref())
+            .map(|g| g.kernels_launched)
+            .sum::<u64>();
+        shade.0 += s.stats.shade_packets;
+        shade.1 += s.stats.shade_batches;
+        rx.0 += s.stats.rx_packets;
+        rx.1 += s.stats.rx_batches;
+        // A shard only moves bytes through the IOHs of nodes it
+        // hosts (plus cross-window deliveries *into* hosted nodes);
+        // non-hosted entries are zero, so element-wise sums recover
+        // the per-node totals.
+        for (i, n) in s.nodes.iter().enumerate() {
+            d2h[i] += n.ioh.d2h_bytes() as f64 * 8.0 / window as f64;
+            h2d[i] += n.ioh.h2d_bytes() as f64 * 8.0 / window as f64;
+        }
+    }
+    RouterReport {
+        window,
+        offered,
+        delivered,
+        latency,
+        rx_drops: nic_drops + ring_drops,
+        app_drops,
+        slow_path,
+        gpu_kernels,
+        mean_shade_batch: mean(shade.0, shade.1),
+        mean_rx_batch: mean(rx.0, rx.1),
+        ioh_d2h_gbit: d2h,
+        ioh_h2d_gbit: h2d,
+        drop_split: (nic_drops, ring_drops),
+        faults: FaultStats::default(),
+    }
+}

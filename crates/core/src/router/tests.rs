@@ -1,0 +1,162 @@
+//! Router-level behavior tests (throughput envelopes, determinism,
+//! RSS hashing), relocated unchanged from the pre-split monolith.
+
+use super::*;
+use crate::apps::{ForwardPattern, MinimalApp};
+use crate::config::RouterConfig;
+use ps_pktgen::{Generator, TrafficSpec};
+use ps_sim::{MICROS, MILLIS, SECONDS};
+
+fn spec(gbps: f64, ports: u16) -> TrafficSpec {
+    let mut s = TrafficSpec::ipv4_64b(gbps, 42);
+    s.ports = ports;
+    s
+}
+
+#[test]
+fn light_load_is_delivered_losslessly() {
+    let cfg = RouterConfig::paper_cpu();
+    let app = MinimalApp::new(ForwardPattern::SameNode, 8);
+    let report = Router::run(cfg, app, spec(4.0, 8), 4 * MILLIS);
+    assert!(
+        report.delivery_ratio() > 0.999,
+        "ratio {}",
+        report.delivery_ratio()
+    );
+    assert_eq!(report.rx_drops, 0);
+    let out = report.out_gbps();
+    assert!((3.8..4.2).contains(&out), "out {out} Gbps");
+}
+
+#[test]
+fn forwarding_saturates_near_40_gbps() {
+    // Figure 6: minimal forwarding tops out just above 40 Gbps,
+    // bound by the dual-IOH fabric.
+    let cfg = RouterConfig::paper_cpu();
+    let app = MinimalApp::new(ForwardPattern::SameNode, 8);
+    let report = Router::run(cfg, app, spec(80.0, 8), 4 * MILLIS);
+    let out = report.out_gbps();
+    assert!((38.0..46.0).contains(&out), "saturated at {out} Gbps");
+    assert!(report.rx_drops > 0, "overload must shed load");
+}
+
+#[test]
+fn node_crossing_still_forwards_above_40() {
+    let cfg = RouterConfig::paper_cpu();
+    let app = MinimalApp::new(ForwardPattern::NodeCrossing, 8);
+    let report = Router::run(cfg, app, spec(80.0, 8), 4 * MILLIS);
+    let out = report.out_gbps();
+    assert!(out > 36.0, "node-crossing {out} Gbps");
+}
+
+#[test]
+fn numa_blind_loses_throughput() {
+    let mut blind = RouterConfig::paper_cpu();
+    blind.io = ps_io::IoConfig::numa_blind();
+    let aware = RouterConfig::paper_cpu();
+    let r_blind = Router::run(
+        blind,
+        MinimalApp::new(ForwardPattern::SameNode, 8),
+        spec(80.0, 8),
+        4 * MILLIS,
+    );
+    let r_aware = Router::run(
+        aware,
+        MinimalApp::new(ForwardPattern::SameNode, 8),
+        spec(80.0, 8),
+        4 * MILLIS,
+    );
+    assert!(
+        r_blind.out_gbps() < r_aware.out_gbps() * 0.72,
+        "blind {} vs aware {}",
+        r_blind.out_gbps(),
+        r_aware.out_gbps()
+    );
+}
+
+#[test]
+fn fig5_single_core_batching() {
+    for (batch, lo, hi) in [(1usize, 0.6, 1.0), (64, 9.0, 11.5)] {
+        let cfg = RouterConfig::fig5(batch);
+        let app = MinimalApp::new(ForwardPattern::SameNode, 2);
+        let report = Router::run(cfg, app, spec(20.0, 2), 4 * MILLIS);
+        let out = report.out_gbps();
+        assert!(
+            (lo..hi).contains(&out),
+            "batch {batch}: {out} Gbps not in [{lo},{hi}]"
+        );
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let cfg = RouterConfig::paper_cpu();
+        let app = MinimalApp::new(ForwardPattern::SameNode, 8);
+        let r = Router::run(cfg, app, spec(30.0, 8), 2 * MILLIS);
+        (r.delivered.packets, r.latency.p50(), r.rx_drops)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn latency_reasonable_at_moderate_load() {
+    let cfg = RouterConfig::paper_cpu();
+    let app = MinimalApp::new(ForwardPattern::SameNode, 8);
+    let report = Router::run(cfg, app, spec(20.0, 8), 4 * MILLIS);
+    let p50 = report.latency.p50();
+    assert!(
+        (10 * MICROS..SECONDS).contains(&p50),
+        "p50 latency {p50} ns"
+    );
+}
+
+#[test]
+fn meta_hash_matches_frame_parse() {
+    use ps_pktgen::TrafficKind;
+    for kind in [TrafficKind::Ipv4Udp, TrafficKind::Ipv6Udp] {
+        for flows in [None, Some(8)] {
+            let mut g = Generator::new(TrafficSpec {
+                kind,
+                frame_len: 64,
+                offered_bits: 1_000_000_000,
+                ports: 4,
+                seed: 9,
+                flows,
+            });
+            for _ in 0..200 {
+                let meta = g.next_meta();
+                let p = g.materialize_into(&meta, Vec::new());
+                assert_eq!(
+                    meta.rss_hash(),
+                    rss_hash(&p.data),
+                    "kind {kind:?} flows {flows:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rss_hash_is_flow_stable() {
+    let f1 = ps_net::PacketBuilder::udp_v4(
+        ps_net::ethernet::MacAddr::local(1),
+        ps_net::ethernet::MacAddr::local(2),
+        "10.0.0.1".parse().expect("fixture src addr parses"),
+        "10.0.0.2".parse().expect("fixture dst addr parses"),
+        100,
+        200,
+        64,
+    );
+    assert_eq!(rss_hash(&f1), rss_hash(&f1));
+    let f2 = ps_net::PacketBuilder::udp_v4(
+        ps_net::ethernet::MacAddr::local(1),
+        ps_net::ethernet::MacAddr::local(2),
+        "10.0.0.1".parse().expect("fixture src addr parses"),
+        "10.0.0.2".parse().expect("fixture dst addr parses"),
+        100,
+        201,
+        64,
+    );
+    assert_ne!(rss_hash(&f1), rss_hash(&f2));
+}

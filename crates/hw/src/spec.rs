@@ -165,17 +165,38 @@ pub struct IohSpec {
     /// Per-DMA-transaction fixed overhead (descriptor fetch, TLP
     /// framing), ns.
     pub per_dma_overhead_ns: Time,
+    /// Added latency of one cross-IOH hop over the QPI interconnect
+    /// (§3.2, Figure 4), ns. This is also the *minimum* latency any
+    /// packet needs to move between NUMA domains, which makes it the
+    /// safe lookahead for per-domain parallel simulation
+    /// (`ps_sim::shard`, DESIGN.md §9): a domain can run `qpi_hop_ns`
+    /// of virtual time ahead without missing a cross-domain arrival.
+    pub qpi_hop_ns: Time,
 }
 
 impl IohSpec {
     /// Intel 5520 as it behaves on the dual-IOH board (§3.2).
+    ///
+    /// `qpi_hop_ns` is zero here: the calibrated DMA times above
+    /// already fold in the interconnect round trip the paper's
+    /// figures measured, so the testbed model charges no *extra*
+    /// per-hop latency — and consequently offers no lookahead.
     pub const fn intel_5520_dual() -> IohSpec {
         IohSpec {
             d2h_bits: 28 * GIGA,
             h2d_bits: 40 * GIGA,
             combined_bits: 42 * GIGA,
             per_dma_overhead_ns: 0,
+            qpi_hop_ns: 0,
         }
+    }
+
+    /// The same IOH with an explicit QPI hop latency, for
+    /// what-if experiments that price cross-domain traffic (and for
+    /// the sharded runtime, which uses the hop as its lookahead).
+    pub const fn with_qpi_hop(mut self, ns: Time) -> IohSpec {
+        self.qpi_hop_ns = ns;
+        self
     }
 }
 

@@ -185,7 +185,9 @@ impl<E> Scheduler<E> {
     }
 
     /// Key of the earliest pending event, across all three structures.
-    fn peek_key(&self) -> Option<(Time, u64)> {
+    /// Crate-visible so the shard merge ([`crate::shard`]) can order
+    /// heads across shards by `(time, shard, seq)`.
+    pub(crate) fn peek_key(&self) -> Option<(Time, u64)> {
         let mut best = match &self.next {
             Some(n) => Some(n.key()),
             None => self.heap.peek().map(|Reverse(h)| h.key()),
@@ -209,6 +211,22 @@ impl<E> Scheduler<E> {
 
     fn pop(&mut self) -> Option<(Time, E)> {
         self.pop_at_or_before(Time::MAX)
+    }
+
+    /// Pop the earliest event with `time <= deadline` — the shard
+    /// worker's window-bounded drain (see [`crate::shard`]).
+    pub(crate) fn pop_due(&mut self, deadline: Time) -> Option<(Time, E)> {
+        self.pop_at_or_before(deadline)
+    }
+
+    /// Advance the clock to `t` without dispatching anything (no-op if
+    /// the clock is already past `t`). Shard workers call this at every
+    /// window barrier so cross-shard deliveries for the next window are
+    /// never "in the past" of an idle shard.
+    pub(crate) fn advance_clock(&mut self, t: Time) {
+        if self.now < t {
+            self.now = t;
+        }
     }
 
     /// Pop the earliest event unless its time exceeds `deadline`.

@@ -13,21 +13,26 @@
 //!   itself has no external dependencies and identical seeds always
 //!   replay identical virtual-time traces.
 //!
-//! The design is intentionally single-threaded: PacketShader's worker
-//! and master *threads* are simulated entities whose concurrency is
-//! expressed in virtual time, which keeps every experiment exactly
-//! reproducible.
+//! The design keeps all concurrency in *virtual* time: PacketShader's
+//! worker and master *threads* are simulated entities, which keeps
+//! every experiment exactly reproducible. For wall-clock speed the
+//! [`shard`] module additionally executes independent model shards on
+//! real OS threads under conservative (lookahead-based)
+//! synchronization — without giving up a single bit of that
+//! determinism (see `DESIGN.md` §9).
 
 #![deny(missing_docs)]
 
 pub mod event;
 pub mod resource;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace_summary;
 
 pub use event::{Scheduler, Simulation};
+pub use shard::{run_sharded, CrossQueue, ShardModel, ShardedScheduler};
 pub use time::{Time, GIGA, KILO, MEGA, MICROS, MILLIS, SECONDS};
 
 /// A simulation model: one big deterministic state machine.

@@ -1,0 +1,432 @@
+//! Conservative (lookahead-based) parallel execution of a sharded
+//! model on plain OS threads.
+//!
+//! The data plane partitions into *shards* (one per NUMA domain in
+//! `ps-core`), each owning a private [`Scheduler`] — its own heap,
+//! next-slot and FIFO lanes — and a disjoint slice of model state.
+//! Shards interact only through **typed cross-shard messages** with a
+//! minimum latency `L` (the lookahead: in PacketShader terms, the
+//! cross-IOH/QPI hop). That bound is what makes parallel execution
+//! safe *and* deterministic:
+//!
+//! * Virtual time is cut into windows of `L` ticks. Every shard runs
+//!   window `k` to completion before any shard starts window `k+1`
+//!   (a barrier on the coordinator thread).
+//! * A message emitted inside window `k` arrives at least `L` after
+//!   its emission instant, hence strictly after window `k` ends — no
+//!   shard can ever receive a message for its past. The outbox
+//!   ([`CrossQueue::send`]) asserts this contract.
+//! * At each barrier the coordinator sorts the in-flight messages by
+//!   `(arrival, source, per-source emission index)` — a total order
+//!   that does not depend on how shards are hosted on threads — and
+//!   hands each shard its deliveries *in that order* before the next
+//!   window starts.
+//!
+//! The result: the observable evolution of every shard is a pure
+//! function of the initial state and the lookahead, independent of
+//! thread scheduling and of how many OS threads execute the shards.
+//! Passing `lookahead >= until + 1` degenerates to a single window —
+//! fully independent shards running in parallel with no barriers.
+//!
+//! The workspace is hermetic, so the implementation uses only
+//! `std::thread::scope` and `std::sync::mpsc`.
+
+use std::sync::mpsc;
+
+use crate::event::Scheduler;
+use crate::time::Time;
+
+/// One event queue per shard with a deterministic merged total order:
+/// `(time, shard, seq)` — earliest time first, ties broken by shard
+/// index, then by scheduling order within the shard. With one shard
+/// this is exactly the single-queue `(time, seq)` order.
+pub struct ShardedScheduler<E> {
+    shards: Vec<Scheduler<E>>,
+}
+
+impl<E> ShardedScheduler<E> {
+    /// `n` empty per-shard queues at time zero.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "a sharded scheduler needs at least one shard");
+        ShardedScheduler {
+            shards: (0..n).map(|_| Scheduler::new()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Always false (`new` requires at least one shard); present so
+    /// `len` follows the container convention.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Mutable access to shard `i`'s queue, for seeding initial events
+    /// and for inspecting clocks after a run.
+    pub fn shard_mut(&mut self, i: usize) -> &mut Scheduler<E> {
+        &mut self.shards[i]
+    }
+
+    /// Pop the globally earliest event across all shards in
+    /// `(time, shard, seq)` order. Returns `(shard, time, event)`.
+    pub fn pop_merged(&mut self) -> Option<(usize, Time, E)> {
+        let mut best: Option<(Time, usize)> = None;
+        for (i, s) in self.shards.iter().enumerate() {
+            if let Some((t, _)) = s.peek_key() {
+                // Strict `<` keeps the lowest shard index on time ties.
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, i));
+                }
+            }
+        }
+        let (_, i) = best?;
+        let (t, ev) = self.shards[i]
+            .pop_due(Time::MAX)
+            .expect("peeked shard non-empty");
+        Some((i, t, ev))
+    }
+}
+
+/// A model partitioned into shards that communicate exclusively via
+/// typed messages with a minimum cross-shard latency.
+///
+/// Each shard is one value of the implementing type; `handle` runs
+/// local events against the shard's private queue, and emissions to
+/// other shards go through the [`CrossQueue`] outbox instead of being
+/// scheduled directly. `deliver` is the receiving side, invoked at
+/// window barriers in the deterministic global message order.
+pub trait ShardModel {
+    /// Local event type of each shard's queue.
+    type Event;
+    /// Cross-shard message payload.
+    type Cross;
+
+    /// Handle one local event at the shard's current virtual time.
+    fn handle(
+        &mut self,
+        sched: &mut Scheduler<Self::Event>,
+        ev: Self::Event,
+        cross: &mut CrossQueue<Self::Cross>,
+    );
+
+    /// Accept a cross-shard message arriving at `at` (always strictly
+    /// inside the shard's *next* window, never its past). Typically
+    /// schedules a local event at `at`.
+    fn deliver(&mut self, sched: &mut Scheduler<Self::Event>, at: Time, msg: Self::Cross);
+}
+
+/// One window's command to a shard worker: the globally ordered
+/// deliveries for the window, plus the window deadline.
+type WindowCmd<C> = (Vec<(Time, C)>, Time);
+
+/// An in-flight cross-shard message, keyed for the deterministic
+/// merge: `(arrival, src, idx)` where `idx` is the per-source emission
+/// counter. A source lives in exactly one shard under any hosting, so
+/// the key — and therefore the delivery order — is independent of the
+/// shard count.
+struct CrossMsg<C> {
+    arrival: Time,
+    src: usize,
+    idx: u64,
+    to: usize,
+    msg: C,
+}
+
+/// Per-shard outbox for cross-shard messages, handed to
+/// [`ShardModel::handle`]. Enforces the lookahead contract and stamps
+/// each message with its per-source emission index (monotone across
+/// the whole run, so ties at equal arrival times order identically no
+/// matter how emissions spread over windows).
+pub struct CrossQueue<C> {
+    window_end: Time,
+    counters: Vec<u64>,
+    msgs: Vec<CrossMsg<C>>,
+}
+
+impl<C> CrossQueue<C> {
+    fn new() -> Self {
+        CrossQueue {
+            window_end: 0,
+            counters: Vec::new(),
+            msgs: Vec::new(),
+        }
+    }
+
+    /// Emit a message from source `src` (a model-defined id, e.g. a
+    /// NUMA node index) to destination `to`, arriving at absolute time
+    /// `arrival`.
+    ///
+    /// # Panics
+    /// Panics if `arrival` does not lie strictly beyond the current
+    /// window: that would mean the model's cross-shard latency is
+    /// smaller than the lookahead the run was started with, i.e. the
+    /// parallel execution could miss causality.
+    pub fn send(&mut self, src: usize, to: usize, arrival: Time, msg: C) {
+        assert!(
+            arrival > self.window_end,
+            "cross-shard message violates the lookahead contract: \
+             arrival {arrival} <= window end {}",
+            self.window_end
+        );
+        if src >= self.counters.len() {
+            self.counters.resize(src + 1, 0);
+        }
+        let idx = self.counters[src];
+        self.counters[src] += 1;
+        self.msgs.push(CrossMsg {
+            arrival,
+            src,
+            idx,
+            to,
+            msg,
+        });
+    }
+}
+
+/// Run every shard to `until` (inclusive) under conservative
+/// synchronization with the given `lookahead`, one OS thread per
+/// shard plus the calling thread as barrier coordinator.
+///
+/// * `models[i]` runs against `scheds` shard `i`; seed initial events
+///   via [`ShardedScheduler::shard_mut`] before calling.
+/// * `lookahead` is the minimum cross-shard latency `L >= 1`: window
+///   `k` covers virtual times `[(k-1)·L, k·L - 1]` (clipped to
+///   `until`), which guarantees every emission lands beyond its own
+///   window. Pass `until + 1` (or more) when shards never communicate
+///   — the run collapses to one barrier-free window.
+/// * `dest_shard` maps a message's destination id to a shard index.
+///
+/// After the run every shard's clock stands exactly at `until`.
+/// Messages that would arrive after `until` are discarded — the same
+/// fate a past-`until` event has in a sequential `run_until`.
+///
+/// # Panics
+/// Panics if `models` and `scheds` disagree on the shard count, if
+/// `lookahead == 0`, or if a shard worker panics (the panic is
+/// propagated to the caller).
+pub fn run_sharded<M, F>(
+    models: &mut [M],
+    scheds: &mut ShardedScheduler<M::Event>,
+    until: Time,
+    lookahead: Time,
+    dest_shard: F,
+) where
+    M: ShardModel + Send,
+    M::Event: Send,
+    M::Cross: Send,
+    F: Fn(usize) -> usize,
+{
+    let n = models.len();
+    assert_eq!(n, scheds.len(), "one model per shard");
+    assert!(lookahead >= 1, "lookahead must be at least one tick");
+
+    std::thread::scope(|scope| {
+        let mut cmd_txs = Vec::with_capacity(n);
+        let mut out_rxs = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for (model, sched) in models.iter_mut().zip(scheds.shards.iter_mut()) {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<WindowCmd<M::Cross>>();
+            let (out_tx, out_rx) = mpsc::channel::<Vec<CrossMsg<M::Cross>>>();
+            cmd_txs.push(cmd_tx);
+            out_rxs.push(out_rx);
+            workers.push(scope.spawn(move || {
+                let mut cross = CrossQueue::new();
+                while let Ok((deliveries, deadline)) = cmd_rx.recv() {
+                    // Deliveries were globally ordered by the
+                    // coordinator; scheduling them before the window
+                    // runs keeps that order ahead of any event the
+                    // window itself creates at the same instant.
+                    for (at, msg) in deliveries {
+                        model.deliver(sched, at, msg);
+                    }
+                    cross.window_end = deadline;
+                    while let Some((_, ev)) = sched.pop_due(deadline) {
+                        model.handle(sched, ev, &mut cross);
+                    }
+                    sched.advance_clock(deadline);
+                    if out_tx.send(std::mem::take(&mut cross.msgs)).is_err() {
+                        break;
+                    }
+                }
+            }));
+        }
+
+        // Coordinator: windows end at L-1, 2L-1, ... (clipped), so an
+        // emission at the earliest instant of window k (time (k-1)·L)
+        // still arrives at >= k·L, past the window's deadline.
+        let mut pending: Vec<CrossMsg<M::Cross>> = Vec::new();
+        let mut deadline = lookahead.saturating_sub(1).min(until);
+        'windows: loop {
+            let due = pending.partition_point(|m| m.arrival <= deadline);
+            let mut per_shard: Vec<Vec<(Time, M::Cross)>> = (0..n).map(|_| Vec::new()).collect();
+            for m in pending.drain(..due) {
+                per_shard[dest_shard(m.to)].push((m.arrival, m.msg));
+            }
+            for (tx, dels) in cmd_txs.iter().zip(per_shard) {
+                if tx.send((dels, deadline)).is_err() {
+                    // Worker gone — bail out; the joins below
+                    // propagate its panic to the caller.
+                    break 'windows;
+                }
+            }
+            for rx in &out_rxs {
+                match rx.recv() {
+                    Ok(msgs) => pending.extend(msgs),
+                    Err(_) => break 'windows,
+                }
+            }
+            pending.sort_by_key(|m| (m.arrival, m.src, m.idx));
+            if deadline >= until {
+                break;
+            }
+            deadline = deadline.saturating_add(lookahead).min(until);
+        }
+        drop(cmd_txs);
+        for w in workers {
+            if let Err(payload) = w.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Log = Vec<(Time, u64)>;
+
+    /// Shard `id` logs every event and volleys `v+1` back to the other
+    /// shard with `latency` ns of flight time.
+    struct PingPong {
+        id: usize,
+        latency: Time,
+        limit: u64,
+        log: Log,
+    }
+
+    impl ShardModel for PingPong {
+        type Event = u64;
+        type Cross = u64;
+        fn handle(&mut self, sched: &mut Scheduler<u64>, ev: u64, cross: &mut CrossQueue<u64>) {
+            self.log.push((sched.now(), ev));
+            if ev < self.limit {
+                cross.send(self.id, 1 - self.id, sched.now() + self.latency, ev + 1);
+            }
+        }
+        fn deliver(&mut self, sched: &mut Scheduler<u64>, at: Time, msg: u64) {
+            sched.at(at, msg);
+        }
+    }
+
+    fn volley(latency: Time, lookahead: Time, until: Time) -> (Log, Log) {
+        let mut models = vec![
+            PingPong {
+                id: 0,
+                latency,
+                limit: 8,
+                log: vec![],
+            },
+            PingPong {
+                id: 1,
+                latency,
+                limit: 8,
+                log: vec![],
+            },
+        ];
+        let mut scheds = ShardedScheduler::new(2);
+        scheds.shard_mut(0).at(0, 0);
+        run_sharded(&mut models, &mut scheds, until, lookahead, |node| node);
+        assert_eq!(scheds.shard_mut(0).now(), until);
+        assert_eq!(scheds.shard_mut(1).now(), until);
+        let mut it = models.into_iter();
+        (it.next().unwrap().log, it.next().unwrap().log)
+    }
+
+    #[test]
+    fn volleys_alternate_with_exact_latency() {
+        let (a, b) = volley(10, 10, 1000);
+        assert_eq!(a, vec![(0, 0), (20, 2), (40, 4), (60, 6), (80, 8)]);
+        assert_eq!(b, vec![(10, 1), (30, 3), (50, 5), (70, 7)]);
+    }
+
+    #[test]
+    fn smaller_lookahead_gives_identical_results() {
+        // Any lookahead <= the true latency is safe and observably
+        // equivalent; only the number of barriers changes.
+        assert_eq!(volley(10, 10, 1000), volley(10, 1, 1000));
+        assert_eq!(volley(10, 10, 1000), volley(10, 3, 1000));
+    }
+
+    #[test]
+    fn until_clips_the_run() {
+        // The volley at t=40 is the last one at or before until=45;
+        // the message for t=50 is in flight but never delivered.
+        let (a, b) = volley(10, 10, 45);
+        assert_eq!(a.last(), Some(&(40, 4)));
+        assert_eq!(b.last(), Some(&(30, 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead contract")]
+    fn undershooting_the_latency_is_caught() {
+        // The model's real latency (2) is smaller than the declared
+        // lookahead (10): the emission lands inside its own window.
+        volley(2, 10, 1000);
+    }
+
+    #[test]
+    fn pop_merged_orders_by_time_shard_seq() {
+        let mut s: ShardedScheduler<u32> = ShardedScheduler::new(3);
+        s.shard_mut(2).at(5, 20);
+        s.shard_mut(0).at(5, 0);
+        s.shard_mut(1).at(3, 10);
+        s.shard_mut(0).at(5, 1);
+        s.shard_mut(1).at(9, 11);
+        let mut order = vec![];
+        while let Some((shard, t, ev)) = s.pop_merged() {
+            order.push((t, shard, ev));
+        }
+        // Time first; shard index breaks the t=5 tie; within shard 0
+        // scheduling order holds.
+        assert_eq!(
+            order,
+            vec![(3, 1, 10), (5, 0, 0), (5, 0, 1), (5, 2, 20), (9, 1, 11)]
+        );
+    }
+
+    #[test]
+    fn single_shard_run_matches_sequential_dispatch() {
+        // One shard, no messages: run_sharded must be a plain
+        // run_until in disguise, windows and all.
+        struct Chain(Vec<(Time, u32)>);
+        impl ShardModel for Chain {
+            type Event = u32;
+            type Cross = ();
+            fn handle(&mut self, sched: &mut Scheduler<u32>, ev: u32, _: &mut CrossQueue<()>) {
+                self.0.push((sched.now(), ev));
+                if ev < 5 {
+                    sched.after(7, ev + 1);
+                }
+            }
+            fn deliver(&mut self, _: &mut Scheduler<u32>, _: Time, _: ()) {
+                unreachable!("no cross traffic")
+            }
+        }
+        let mut models = vec![Chain(vec![])];
+        let mut scheds = ShardedScheduler::new(1);
+        scheds.shard_mut(0).at(0, 0);
+        run_sharded(&mut models, &mut scheds, 100, 4, |_| 0);
+        assert_eq!(
+            models[0].0,
+            vec![(0, 0), (7, 1), (14, 2), (21, 3), (28, 4), (35, 5)]
+        );
+        assert_eq!(scheds.shard_mut(0).now(), 100);
+    }
+}

@@ -171,6 +171,21 @@ impl Histogram {
         self.max
     }
 
+    /// Fold another histogram into this one. Both sides share the same
+    /// fixed bucket layout, so quantiles over the merged histogram are
+    /// exactly the quantiles a single histogram fed both value streams
+    /// would report — the property the sharded data plane relies on
+    /// when it merges per-shard latency histograms.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Approximate value at quantile `q` in `[0, 1]`.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
@@ -292,6 +307,28 @@ mod tests {
             (450..=560).contains(&p50),
             "p50={p50} outside 10% tolerance"
         );
+    }
+
+    #[test]
+    fn histogram_merge_matches_single_feed() {
+        // Split one value stream across two histograms; the merge must
+        // agree with a single histogram on every exposed statistic.
+        let mut whole = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..10_000u64 {
+            let v = v.wrapping_mul(0x9E37_79B9).rotate_left(7) % 1_000_000;
+            whole.record(v);
+            if v % 3 == 0 { &mut a } else { &mut b }.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.mean(), whole.mean());
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q={q}");
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ use ps_bench::workloads;
 /// seed) triple.
 type Fingerprint = (u64, u64, u64, u64, u64, u64);
 
-fn run_fingerprint<A: App>(cfg: RouterConfig, app: A, spec: TrafficSpec) -> Fingerprint {
+fn run_fingerprint<A: App + Send>(cfg: RouterConfig, app: A, spec: TrafficSpec) -> Fingerprint {
     let report = Router::run(cfg, app, spec, MILLIS);
     (
         report.offered.packets,

@@ -22,7 +22,7 @@ use ps_bench::workloads;
 /// Same aggregate tuple as tests/determinism.rs.
 type Fingerprint = (u64, u64, u64, u64, u64, u64);
 
-fn run_fingerprint<A: App>(cfg: RouterConfig, app: A, spec: TrafficSpec) -> Fingerprint {
+fn run_fingerprint<A: App + Send>(cfg: RouterConfig, app: A, spec: TrafficSpec) -> Fingerprint {
     let report = Router::run(cfg, app, spec, MILLIS);
     (
         report.offered.packets,

@@ -1,0 +1,269 @@
+//! Cross-shard parity suite (ISSUE 5).
+//!
+//! The contract of DESIGN.md §9: virtual-time results are a pure
+//! function of (config, app, seed) — **never** of the shard count.
+//! Every test here compares *full* `RouterReport`s (the Debug
+//! rendering covers every counter, every histogram bucket, the
+//! per-node IOH gigabit vectors and the fault ledger) across
+//! `shards ∈ {1, 2, 4}`, exercising all three execution regimes:
+//!
+//! * **Sequential collapse** — the four real applications (no
+//!   `shard_replica`), faulted runs, and traced runs must all ignore
+//!   the shard request and reproduce the single-threaded result.
+//! * **Replicated** — node-local traffic actually runs one OS thread
+//!   per NUMA domain; the merged report must equal the sequential one
+//!   byte for byte.
+//! * **Windowed** — cross-node traffic with a priced QPI hop runs in
+//!   conservative windows at every shard count; results must be
+//!   identical across counts.
+//!
+//! A `ps-check` property at the bottom pins the merge order of
+//! [`ShardedScheduler`] itself against a sort-based oracle.
+
+use packetshader::check::{check, ensure_eq, Gen};
+use packetshader::core::apps::{ForwardPattern, IpsecApp, Ipv4App, MinimalApp, OpenFlowApp};
+use packetshader::core::{App, Router, RouterConfig, RouterReport};
+use packetshader::fault::FaultSpec;
+use packetshader::lookup::route::Route4;
+use packetshader::lookup::synth;
+use packetshader::pktgen::{TrafficKind, TrafficSpec};
+use packetshader::sim::{ShardedScheduler, MILLIS};
+use packetshader::trace::TraceConfig;
+use ps_bench::workloads;
+
+/// The duration for parity runs: long enough to fill pipelines, GPU
+/// batches and drop paths, short enough to run twelve times.
+const DUR: u64 = MILLIS / 2;
+
+/// Byte-level report fingerprint. `RouterReport`'s Debug output
+/// renders every field — counters, drop split, full latency
+/// histogram, per-node IOH throughput, GPU kernel count, fault
+/// ledger — so string equality is report identity, not a sampled
+/// tuple like the fastpath pins.
+fn full_fp(r: &RouterReport) -> String {
+    format!("{r:?}")
+}
+
+/// Run the same (config, app, traffic) at shard counts 1, 2 and 4 and
+/// assert the reports are byte-identical. `mk` builds a fresh app per
+/// run (apps are consumed and not all of them clone).
+fn assert_parity<A: App + Send>(
+    label: &str,
+    cfg: RouterConfig,
+    mk: impl Fn() -> A,
+    spec: TrafficSpec,
+) {
+    let base = full_fp(&Router::run_with_shards(cfg, mk(), spec, DUR, 1));
+    for shards in [2usize, 4] {
+        let fp = full_fp(&Router::run_with_shards(cfg, mk(), spec, DUR, shards));
+        assert_eq!(base, fp, "{label}: shards=1 vs shards={shards}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1. The four real applications: sequential collapse at any count.
+// ---------------------------------------------------------------------------
+
+/// IPv4, both modes: the flagship fastpath configuration must not
+/// move when `PS_SHARDS` (here: the explicit shard argument) changes.
+#[test]
+fn ipv4_identical_across_shard_counts() {
+    let mk = || {
+        let mut routes = vec![Route4::new(0, 1, 0), Route4::new(0x8000_0000, 1, 4)];
+        routes.extend(synth::routeviews_like(2_000, 8, 3));
+        Ipv4App::new(&routes)
+    };
+    let spec = TrafficSpec::ipv4_64b(30.0, 5);
+    assert_parity("ipv4 cpu", RouterConfig::paper_cpu(), mk, spec);
+    assert_parity("ipv4 gpu", RouterConfig::paper_gpu(), mk, spec);
+}
+
+/// IPv6 forwarding (the fourth app; GPU mode, where timing is most
+/// intricate: gather/scatter plus the two-stage Waldvogel kernel).
+#[test]
+fn ipv6_identical_across_shard_counts() {
+    let spec = TrafficSpec {
+        kind: TrafficKind::Ipv6Udp,
+        frame_len: 64,
+        offered_bits: 20_000_000_000,
+        ports: 8,
+        seed: 5,
+        flows: None,
+    };
+    assert_parity(
+        "ipv6 gpu",
+        RouterConfig::paper_gpu(),
+        || workloads::ipv6_app(2_000, 2),
+        spec,
+    );
+}
+
+/// IPsec: the crypto pipeline (slow-path heavy in CPU mode).
+#[test]
+fn ipsec_identical_across_shard_counts() {
+    assert_parity(
+        "ipsec gpu",
+        RouterConfig::paper_gpu(),
+        || IpsecApp::new([7u8; 16], 0xABCD, b"determinism-key"),
+        TrafficSpec::ipv4_64b(10.0, 5),
+    );
+}
+
+/// OpenFlow: per-flow state plus the wildcard scan path.
+#[test]
+fn openflow_identical_across_shard_counts() {
+    let mut spec = TrafficSpec::ipv4_64b(20.0, 5);
+    spec.flows = Some(64);
+    assert_parity(
+        "openflow cpu",
+        RouterConfig::paper_cpu(),
+        || OpenFlowApp::new(workloads::openflow_switch(&spec, 64, 16)),
+        spec,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 2. Faulted runs: the fault ledger forces sequential, at any count.
+// ---------------------------------------------------------------------------
+
+/// Fault plans draw from global per-class RNG streams, so a faulted
+/// run must collapse to sequential no matter what shard count is
+/// requested — and the ledger fingerprint must not move either.
+#[test]
+fn faulted_run_identical_across_shard_counts() {
+    let run = |shards: usize| {
+        let mut cfg = RouterConfig::paper_cpu();
+        cfg.faults = FaultSpec::scenario("all")
+            .expect("known scenario")
+            .with_seed(0xDECAF);
+        let app = MinimalApp::new(ForwardPattern::SameNode, 8);
+        let r = Router::run_with_shards(cfg, app, TrafficSpec::ipv4_64b(20.0, 9), DUR, shards);
+        (r.faults.fingerprint(), full_fp(&r))
+    };
+    let (ledger1, fp1) = run(1);
+    for shards in [2usize, 4] {
+        let (ledger, fp) = run(shards);
+        assert_eq!(ledger1, ledger, "fault ledger at shards={shards}");
+        assert_eq!(fp1, fp, "faulted report at shards={shards}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Replicated regime: real threads, byte-identical merge.
+// ---------------------------------------------------------------------------
+
+/// Node-local traffic at shards=2 runs one full replica per NUMA
+/// domain on its own OS thread; the merged report must equal the
+/// sequential shards=1 run exactly. This is the core tentpole claim.
+#[test]
+fn replicated_shards_match_sequential_cpu() {
+    assert_parity(
+        "minimal same-node cpu",
+        RouterConfig::paper_cpu(),
+        || MinimalApp::new(ForwardPattern::SameNode, 8),
+        TrafficSpec::ipv4_64b(35.0, 7),
+    );
+}
+
+/// Same, in CPU+GPU mode: gather/scatter, kernel launches and DMA
+/// timing all merge deterministically across threads.
+#[test]
+fn replicated_shards_match_sequential_gpu() {
+    assert_parity(
+        "minimal same-node gpu",
+        RouterConfig::paper_gpu(),
+        || MinimalApp::new(ForwardPattern::SameNode, 8),
+        TrafficSpec::ipv4_64b(35.0, 7),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 4. Windowed regime: a priced QPI hop buys real lookahead.
+// ---------------------------------------------------------------------------
+
+/// Cross-node traffic with `qpi_hop_ns > 0` runs in conservative
+/// windows — at *every* shard count, shards=1 included — so the
+/// result is identical across counts by construction. This exercises
+/// the barrier merge, the typed cross-shard messages and the
+/// per-source emission ordering.
+#[test]
+fn windowed_shards_identical_across_counts() {
+    let mut cfg = RouterConfig::paper_cpu();
+    cfg.testbed.ioh = cfg.testbed.ioh.with_qpi_hop(300);
+    assert_parity(
+        "minimal node-crossing qpi",
+        cfg,
+        || MinimalApp::new(ForwardPattern::NodeCrossing, 8),
+        TrafficSpec::ipv4_64b(25.0, 11),
+    );
+}
+
+/// With the hop priced at zero (the calibrated paper testbed) there
+/// is no lookahead, so cross-node traffic must stay sequential — and
+/// therefore still be shard-count-independent.
+#[test]
+fn unpriced_cross_traffic_identical_across_counts() {
+    assert_parity(
+        "minimal node-crossing qpi=0",
+        RouterConfig::paper_cpu(),
+        || MinimalApp::new(ForwardPattern::NodeCrossing, 8),
+        TrafficSpec::ipv4_64b(25.0, 11),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 5. Traced runs collapse to sequential.
+// ---------------------------------------------------------------------------
+
+/// Trace collectors are thread-local sinks, so an installed collector
+/// forces sequential execution; a traced shards=2 run must reproduce
+/// the untraced sequential report byte for byte.
+#[test]
+fn traced_run_collapses_to_sequential() {
+    let cfg = RouterConfig::paper_gpu();
+    let spec = TrafficSpec::ipv4_64b(35.0, 7);
+    let mk = || MinimalApp::new(ForwardPattern::SameNode, 8);
+    let seq = full_fp(&Router::run_with_shards(cfg, mk(), spec, DUR, 1));
+    let (traced_fp, _collector) = ps_bench::trace::traced(TraceConfig::all(), || {
+        full_fp(&Router::run_with_shards(cfg, mk(), spec, DUR, 2))
+    });
+    assert_eq!(seq, traced_fp, "traced shards=2 vs untraced sequential");
+}
+
+// ---------------------------------------------------------------------------
+// 6. The merge order itself, against a sort-based oracle.
+// ---------------------------------------------------------------------------
+
+/// [`ShardedScheduler::pop_merged`] must yield the documented
+/// `(time, shard, seq)` total order for any push sequence — which for
+/// a single shard is exactly the single-heap `(time, seq)` order.
+#[test]
+fn sharded_pop_order_matches_single_heap_order() {
+    check("sharded_pop_order", |g: &mut Gen| {
+        let shards = g.int_in(1usize..=4);
+        // Random (time, shard) pushes; the payload is the push index.
+        let pushes = g.vec_of(1, 200, |g| {
+            (g.int_in(0u64..=40), g.int_in(0usize..=shards - 1))
+        });
+        let mut sched = ShardedScheduler::new(shards);
+        for (i, &(t, s)) in pushes.iter().enumerate() {
+            sched.shard_mut(s).at(t, i);
+        }
+        // Oracle: stable sort by (time, shard). Stability preserves
+        // per-shard push order, i.e. the per-shard `seq` tiebreak.
+        let mut expect: Vec<(u64, usize, usize)> = pushes
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, s))| (t, s, i))
+            .collect();
+        expect.sort_by_key(|&(t, s, _)| (t, s));
+        for &(t, s, i) in &expect {
+            let (shard, time, ev) = sched.pop_merged().expect("push count matches pop count");
+            ensure_eq!(shard, s, "shard order at push {}", i);
+            ensure_eq!(time, t, "time order at push {}", i);
+            ensure_eq!(ev, i, "event identity at push {}", i);
+        }
+        ensure_eq!(sched.pop_merged(), None, "drained");
+        Ok(())
+    });
+}
