@@ -16,9 +16,14 @@
 //! frame sizes (64 B and 1514 B) plus the two headline sweeps the
 //! perf work is judged on: the Figure 5 batching sweep (IPv4 minimal
 //! forwarding) and the IPsec 64 B sweep (both modes — crypto-bound),
-//! and a `shards/*` pair running one node-local workload at shards=1
-//! and shards=2 so the snapshot records what the parallel data plane
-//! (DESIGN.md §9) buys on the recording host.
+//! and a `shards/*` scaling matrix running one node-local workload at
+//! shards ∈ {1, 2, 4, 8} under identical offered load, so the
+//! snapshot records what the parallel data plane (DESIGN.md §9) buys
+//! on the recording host. Scaling rows are gated on *ratios between
+//! rows* (speedup when the host has the hardware threads to scale,
+//! bounded runtime overhead when it does not — the header's
+//! `host_threads` field records which), never on absolute ns/pkt
+//! drift; see [`scaling_verdicts`].
 //! Virtual-time results are deterministic per seed, so the `pkts`
 //! column is byte-stable across builds and ns/pkt ratios compare
 //! apples to apples.
@@ -238,31 +243,76 @@ pub fn run_workloads() -> Vec<Sample> {
         out.push(sample("sweep/ipsec-64B", wall, pkts));
     }
 
-    // Sharded data plane (DESIGN.md §9): the same node-local workload
-    // sequentially and split across one OS thread per NUMA domain.
-    // The virtual-time result is byte-identical — asserted below — so
-    // the ns/pkt ratio of the two rows *is* the parallel speedup
-    // (≈1x on a single hardware thread; recorded honestly either way).
-    {
-        let mut delivered = [0u64; 2];
-        for (i, shards) in [1usize, 2].into_iter().enumerate() {
-            let (w, p) = run_at_shards(
-                RouterConfig::paper_cpu(),
-                || MinimalApp::new(ForwardPattern::SameNode, 8),
-                spec(TrafficKind::Ipv4Udp, 64, 80.0),
-                window,
-                shards,
-            );
-            delivered[i] = p;
-            out.push(sample(&format!("shards/minimal-64B-x{shards}"), w, p));
-        }
-        assert_eq!(
-            delivered[0], delivered[1],
-            "shards=1 and shards=2 must deliver identical virtual-time results"
-        );
-    }
+    // Sharded data plane scaling matrix (DESIGN.md §9): one
+    // node-local workload under identical offered load at every shard
+    // count. See `run_scaling_matrix`.
+    out.extend(run_scaling_matrix(window));
 
     out
+}
+
+/// The shard counts the scaling matrix measures.
+pub const SCALING_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The scaling workload: a wide box with one NUMA domain per shard at
+/// the largest count (8 domains, two ports and one worker core each)
+/// so every row in the matrix is a *real* N-way split, not a clamped
+/// two-way run, and the offered load is byte-identical across rows —
+/// the methodological requirement for a scaling claim.
+fn scaling_workload() -> (RouterConfig, TrafficSpec) {
+    let mut cfg = RouterConfig::paper_cpu();
+    cfg.nodes = 8;
+    cfg.workers_per_node = 1;
+    cfg.ports = 16;
+    let mut sp = spec(TrafficKind::Ipv4Udp, 64, 80.0);
+    sp.ports = 16;
+    // Keyed flows make the tuple a pure function of the flow id, so a
+    // replica skips an unhosted packet with zero RNG work — the
+    // replay overhead the serialized-host gate bounds is then mostly
+    // the per-skip event round-trip, the part the runtime owns.
+    sp.flows = Some(8192);
+    (cfg, sp)
+}
+
+/// Run the replicated minimal workload at shards ∈ {1, 2, 4, 8} under
+/// the identical offered load and return one `shards/minimal-64B-xN`
+/// sample per count. The virtual-time result is asserted identical
+/// across counts, so the wall-clock ratios between rows *are* the
+/// parallel speedup (or, on a host without enough hardware threads,
+/// the honestly-recorded runtime overhead).
+///
+/// Unlike the rest of the grid, the repeats here are *interleaved*
+/// (x1, x2, x4, x8, x1, x2, ...) instead of run back to back: the
+/// verdicts gate on ratios *between* rows, so a patch of neighbor
+/// contention that lands entirely inside one row's repeats would skew
+/// the ratio. Round-robin spreads ambient drift across every row
+/// before the per-row minimum is taken.
+pub fn run_scaling_matrix(window: u64) -> Vec<Sample> {
+    let (cfg, sp) = scaling_workload();
+    let mut best = [f64::INFINITY; SCALING_COUNTS.len()];
+    let mut delivered: Option<u64> = None;
+    for _ in 0..repeats() {
+        for (i, &shards) in SCALING_COUNTS.iter().enumerate() {
+            let app = MinimalApp::new(ForwardPattern::SameNode, 16);
+            let t0 = Instant::now();
+            let report = Router::run_with_shards(cfg, app, sp, window, shards);
+            best[i] = best[i].min(t0.elapsed().as_secs_f64());
+            let p = report.delivered.packets;
+            match delivered {
+                None => delivered = Some(p),
+                Some(d) => assert_eq!(
+                    d, p,
+                    "every shard count must deliver the identical virtual-time result"
+                ),
+            }
+        }
+    }
+    let pkts = delivered.unwrap_or(0);
+    SCALING_COUNTS
+        .iter()
+        .zip(best)
+        .map(|(&shards, w)| sample(&format!("shards/minimal-64B-x{shards}"), w, pkts))
+        .collect()
 }
 
 fn fmt_f64(v: f64) -> String {
@@ -281,6 +331,7 @@ pub fn to_json(samples: &[Sample], before: &[(String, f64)]) -> String {
     let _ = writeln!(s, "  \"schema\": \"ps-bench-baseline/v1\",");
     let _ = writeln!(s, "  \"window_ms\": {},", window_ms());
     let _ = writeln!(s, "  \"shards\": {},", ps_core::router::shards_from_env());
+    let _ = writeln!(s, "  \"host_threads\": {},", host_threads());
     s.push_str("  \"workloads\": [\n");
     for (i, w) in samples.iter().enumerate() {
         let _ = write!(
@@ -379,8 +430,140 @@ pub fn write_baseline(path: &str) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Hardware threads on this host (the `host_threads` header field and
+/// the switch between the two scaling-gate directions).
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parse a scaling row id (`shards/<workload>-xN`) into `N`.
+fn scaling_count(id: &str) -> Option<usize> {
+    if !id.starts_with("shards/") {
+        return None;
+    }
+    let (_, tail) = id.rsplit_once("-x")?;
+    tail.parse().ok().filter(|&n| n >= 1)
+}
+
+/// Minimum speedup a scaling row must show over its x1 row when the
+/// host can actually run that many threads (`PS_SCALING_MIN`,
+/// default 1.2).
+fn scaling_min() -> f64 {
+    std::env::var("PS_SCALING_MIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.2)
+}
+
+/// Maximum runtime-overhead ratio (xN ns/pkt over x1 ns/pkt) a
+/// scaling row may show when the host *cannot* run that many threads
+/// (`PS_SCALING_OVERHEAD`, default 1.5) — on a small box the rows
+/// serialize, so the honest gate is "the parallel machinery stays
+/// cheap", not a speedup that is physically impossible there.
+fn scaling_overhead() -> f64 {
+    std::env::var("PS_SCALING_OVERHEAD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.5)
+}
+
+/// One scaling-gate verdict: row id, pass/fail, and the printable
+/// explanation (which gate applied and with what measured ratio).
+pub struct ScalingVerdict {
+    /// The `shards/...-xN` row the verdict is about.
+    pub id: String,
+    /// Whether the row passed its gate.
+    pub ok: bool,
+    /// Human-readable gate description for the report table.
+    pub detail: String,
+}
+
+/// Apply the direction-aware scaling gates to the `shards/*-xN` rows
+/// of a sample set. Each xN row (N > 1) is judged **against the x1
+/// row of the same run** — identical offered load, identical build,
+/// identical host — never against the recorded baseline's absolute
+/// ns/pkt (wall-clock drift between machines is exactly what a
+/// scaling claim must be immune to):
+///
+/// * `threads_for(N) >= N` (the host can genuinely run N-wide): the
+///   row must show `pkts_per_sec >= min_speedup x` the x1 row.
+/// * otherwise (rows serialize on this host): the row must stay
+///   within `max_overhead x` the x1 row's ns/pkt.
+///
+/// `threads_for` is injected so tests can exercise both directions on
+/// any machine; production callers pass [`ps_sim::default_shard_threads`].
+pub fn scaling_verdicts(
+    samples: &[Sample],
+    min_speedup: f64,
+    max_overhead: f64,
+    threads_for: &dyn Fn(usize) -> usize,
+) -> Vec<ScalingVerdict> {
+    let Some(base) = samples.iter().find(|s| scaling_count(&s.id) == Some(1)) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for s in samples {
+        let Some(n) = scaling_count(&s.id) else {
+            continue;
+        };
+        if n == 1 {
+            continue;
+        }
+        let (ok, detail) = if threads_for(n) >= n {
+            let speedup = s.pkts_per_sec / base.pkts_per_sec.max(1e-12);
+            (
+                speedup >= min_speedup,
+                format!("speedup {speedup:.2}x vs x1 (need >= {min_speedup:.2}x)"),
+            )
+        } else {
+            let ratio = s.ns_per_pkt / base.ns_per_pkt.max(1e-12);
+            (
+                ratio <= max_overhead,
+                format!(
+                    "overhead {ratio:.2}x vs x1 (serialized on {} host thread(s); need <= {max_overhead:.2}x)",
+                    threads_for(n)
+                ),
+            )
+        };
+        out.push(ScalingVerdict {
+            id: s.id.clone(),
+            ok,
+            detail,
+        });
+    }
+    out
+}
+
+/// Print scaling verdicts and return how many failed.
+fn report_scaling(samples: &[Sample]) -> usize {
+    let verdicts = scaling_verdicts(samples, scaling_min(), scaling_overhead(), &|n| {
+        ps_sim::default_shard_threads(n)
+    });
+    let mut failures = 0;
+    for v in &verdicts {
+        let flag = if v.ok {
+            "ok"
+        } else {
+            failures += 1;
+            "FAIL"
+        };
+        println!("{:<22} {:<4} {}", v.id, flag, v.detail);
+    }
+    failures
+}
+
 /// `--compare`: re-run the grid and report regressions against a
 /// recorded baseline. Returns the number of regressed workloads.
+///
+/// Gates are direction-aware per row class: ordinary rows fail on
+/// absolute ns/pkt drift beyond `PS_BASELINE_TOLERANCE`; scaling rows
+/// (`shards/*-xN`, N > 1) are exempt from the absolute gate and fail
+/// on their *in-run* ratio to the x1 row instead (see
+/// [`scaling_verdicts`]) — a known-slower xN row must fail even when
+/// its absolute ns/pkt matches the recorded baseline perfectly, and a
+/// uniformly slower machine must not fail the scaling claim.
 pub fn compare(path: &str) -> std::io::Result<usize> {
     let tolerance = std::env::var("PS_BASELINE_TOLERANCE")
         .ok()
@@ -397,6 +580,13 @@ pub fn compare(path: &str) -> std::io::Result<usize> {
     );
     let mut regressions = 0;
     for s in &samples {
+        if scaling_count(&s.id).is_some_and(|n| n > 1) {
+            println!(
+                "{:<22} {:>11} {:>11.1}   (ratio-gated below)",
+                s.id, "-", s.ns_per_pkt
+            );
+            continue;
+        }
         match recorded.iter().find(|(id, _)| *id == s.id) {
             Some((_, base)) => {
                 let ratio = s.ns_per_pkt / base.max(1e-12);
@@ -414,12 +604,30 @@ pub fn compare(path: &str) -> std::io::Result<usize> {
             None => println!("{:<22} {:>11} {:>11.1}   (new)", s.id, "-", s.ns_per_pkt),
         }
     }
+    regressions += report_scaling(&samples);
     if regressions > 0 {
         println!("{regressions} workload(s) regressed beyond {tolerance:.2}x");
     } else {
         println!("no regressions beyond {tolerance:.2}x");
     }
     Ok(regressions)
+}
+
+/// `--scaling [out.json]`: run only the shard scaling matrix under
+/// identical offered load, apply the direction-aware gates, and
+/// optionally write the rows as a baseline-schema JSON artifact.
+/// Returns the number of failed gates.
+pub fn scaling(path: Option<&str>) -> std::io::Result<usize> {
+    header("Shard scaling matrix (identical offered load, wall-clock)");
+    let samples = run_scaling_matrix(window_ms() * MILLIS);
+    print_table(&samples);
+    println!("host threads: {}", host_threads());
+    let failures = report_scaling(&samples);
+    if let Some(p) = path {
+        std::fs::write(p, to_json(&samples, &[]))?;
+        println!("scaling: wrote {p}");
+    }
+    Ok(failures)
 }
 
 #[cfg(test)]
@@ -463,5 +671,69 @@ mod tests {
     fn parser_ignores_malformed_entries() {
         assert!(parse_baseline("{}").is_empty());
         assert!(parse_baseline("\"id\": \"x/64B\" no number").is_empty());
+    }
+
+    #[test]
+    fn scaling_ids_parse() {
+        assert_eq!(scaling_count("shards/minimal-64B-x1"), Some(1));
+        assert_eq!(scaling_count("shards/minimal-64B-x8"), Some(8));
+        assert_eq!(scaling_count("ipv4/64B"), None);
+        assert_eq!(scaling_count("sweep/ipsec-64B"), None);
+        assert_eq!(scaling_count("shards/minimal-64B"), None);
+    }
+
+    fn scaling_row(n: usize, ns: f64) -> Sample {
+        let mut s = fake(&format!("shards/minimal-64B-x{n}"), ns);
+        s.pkts_per_sec = 1e9 / ns;
+        s
+    }
+
+    #[test]
+    fn threaded_hosts_gate_on_speedup() {
+        // x2 is 1.5x faster, x4 only 1.1x: with enough host threads
+        // the speedup gate passes x2 and fails x4.
+        let samples = vec![
+            scaling_row(1, 300.0),
+            scaling_row(2, 200.0),
+            scaling_row(4, 272.0),
+        ];
+        let v = scaling_verdicts(&samples, 1.2, 1.5, &|n| n);
+        assert_eq!(v.len(), 2);
+        assert!(v[0].ok, "x2 at 1.5x speedup: {}", v[0].detail);
+        assert!(!v[1].ok, "x4 at 1.1x speedup: {}", v[1].detail);
+    }
+
+    #[test]
+    fn serialized_hosts_gate_on_bounded_overhead() {
+        // One host thread: no speedup is possible, so the gate flips
+        // to bounded overhead — 1.3x passes, 1.8x fails.
+        let samples = vec![
+            scaling_row(1, 300.0),
+            scaling_row(2, 390.0),
+            scaling_row(4, 540.0),
+        ];
+        let v = scaling_verdicts(&samples, 1.2, 1.5, &|_| 1);
+        assert_eq!(v.len(), 2);
+        assert!(v[0].ok, "x2 at 1.3x overhead: {}", v[0].detail);
+        assert!(!v[1].ok, "x4 at 1.8x overhead: {}", v[1].detail);
+    }
+
+    #[test]
+    fn absolute_drift_does_not_trip_scaling_rows() {
+        // A uniformly 2x-slower machine: every scaling ratio is
+        // unchanged, so no scaling gate may fire (that is the whole
+        // point of gating on in-run ratios, not recorded ns/pkt).
+        let fast = vec![scaling_row(1, 300.0), scaling_row(2, 200.0)];
+        let slow = vec![scaling_row(1, 600.0), scaling_row(2, 400.0)];
+        for samples in [fast, slow] {
+            let v = scaling_verdicts(&samples, 1.2, 1.5, &|n| n);
+            assert!(v.iter().all(|x| x.ok), "ratio gates are drift-immune");
+        }
+    }
+
+    #[test]
+    fn missing_x1_row_yields_no_verdicts() {
+        let samples = vec![scaling_row(2, 200.0)];
+        assert!(scaling_verdicts(&samples, 1.2, 1.5, &|n| n).is_empty());
     }
 }

@@ -12,6 +12,7 @@
 //! ps-bench --trace-out t.json fig6   # also dump the virtual-time trace
 //! ps-bench --baseline [out.json]     # record wall-clock ns/pkt snapshot
 //! ps-bench --compare [base.json]     # fail on wall-clock regressions
+//! ps-bench --scaling [out.json]      # shard matrix 1/2/4/8 + ratio gates
 //! ps-bench --shards 2 fig11a         # eligible runs on 2 OS threads
 //! ```
 //!
@@ -66,6 +67,25 @@ fn main() {
             }
         }
     }
+    // Shard scaling matrix: the replicated minimal workload at
+    // shards ∈ {1,2,4,8} under identical offered load, gated on
+    // in-run speedup/overhead ratios (direction-aware, see
+    // baseline::scaling_verdicts). Optional path writes the rows as a
+    // JSON artifact for CI upload.
+    if let Some(i) = args.iter().position(|a| a == "--scaling") {
+        let path = args.get(i + 1).cloned();
+        match ps_bench::baseline::scaling(path.as_deref()) {
+            Ok(0) => return,
+            Ok(n) => {
+                eprintln!("ps-bench: {n} scaling gate(s) failed");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("ps-bench: scaling failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     // Fault-degradation sweep: exclusive mode like the baseline
     // harness (fault plans and trace collectors are orthogonal; the
     // sweep prints its own fault_summary tables).
@@ -93,6 +113,7 @@ fn main() {
     if args.is_empty() {
         eprintln!("usage: ps-bench [--shards n] [--trace-out t.json] <experiment>...");
         eprintln!("       ps-bench --baseline [out.json] | --compare [base.json]");
+        eprintln!("       ps-bench --scaling [out.json]  (shard matrix + ratio gates)");
         eprintln!("       ps-bench --faults <nic|corrupt|pcie|gpu|all>   (degradation sweep)");
         eprintln!("       (--shards n, or PS_SHARDS=n, runs eligible workloads on n threads)");
         eprintln!("experiments: spec table1 launch fig2 table3 fig5 fig6 numa");

@@ -18,9 +18,9 @@
 //! * **Windowed** (`windowed: true`) — cross-node traffic priced with
 //!   a QPI hop (`IohSpec::qpi_hop_ns > 0`): that hop is the minimum
 //!   cross-domain latency, i.e. the lookahead. The run executes in
-//!   conservative windows of that length at *every* shard count,
-//!   shards=1 included, so results are identical across `PS_SHARDS`
-//!   by construction, not by coincidence.
+//!   adaptive conservative windows (each reaching `GVT + hop − 1`) at
+//!   *every* shard count, shards=1 included, so results are identical
+//!   across `PS_SHARDS` by construction, not by coincidence.
 //!
 //! Cross-node traffic *without* a priced hop (`qpi_hop_ns == 0`, the
 //! calibrated paper testbed) offers zero lookahead and stays
@@ -70,7 +70,8 @@ pub fn shards_from_env() -> usize {
 pub(crate) enum ExecPlan<A> {
     /// Single-threaded, byte-identical to the pre-shard router.
     Sequential(A),
-    /// One `Router` replica per shard on its own OS thread.
+    /// One `Router` replica per shard, driven by the work-stealing
+    /// window pool in [`ps_sim::run_sharded`].
     Parallel {
         /// One app replica per shard.
         apps: Vec<A>,

@@ -93,8 +93,8 @@ impl<A: App> Router<A> {
 /// report. Every combined quantity is a commutative, associative fold
 /// (counter sums, bucket-wise histogram addition, element-wise IOH
 /// byte sums), so the result does not depend on shard count or thread
-/// interleaving — `tests/shards.rs` pins reports at shards ∈ {1,2,4}
-/// against each other.
+/// interleaving — `tests/shards.rs` pins reports at shards ∈
+/// {1,2,4,8} against each other.
 ///
 /// Parallel runs never arm a fault plan (faulted runs are planned
 /// sequential), so the merged ledger is all-zero by construction.

@@ -194,7 +194,7 @@ impl FrameTemplate {
 }
 
 /// The varying fields of one generated frame.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Tuple {
     /// IPv4 source/destination addresses + UDP ports.
     V4 {
@@ -218,7 +218,7 @@ enum Tuple {
 /// [`Packet`] by [`Generator::materialize_into`] only once the NIC
 /// has accepted the frame — frames the NIC FIFO drops under overload
 /// are never built at all.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameMeta {
     /// Arrival time of the last bit at the NIC.
     pub t: Time,
@@ -303,6 +303,35 @@ impl Generator {
     /// deterministic, so this is exact).
     pub fn next_time(&self) -> Time {
         self.next_time
+    }
+
+    /// Port of the packet [`Self::next_meta`] would return, without
+    /// advancing anything (arrivals rotate deterministically, so the
+    /// port needs no draw). Shard replicas use this to decide whether
+    /// the next packet is theirs *before* paying for its metadata.
+    pub fn peek_port(&self) -> PortId {
+        PortId((self.seq % u64::from(self.spec.ports)) as u16)
+    }
+
+    /// Advance past the next packet without constructing its
+    /// metadata: pacing, the sequence counter and the shared RNG
+    /// stream move exactly as [`Self::next_meta`] would move them
+    /// (pinned by `skip_meta_keeps_the_stream_aligned`). With keyed
+    /// flows (`spec.flows`) the tuple is a pure function of the flow
+    /// id — no stream state exists to advance, so the draw is skipped
+    /// entirely. This is the fast path a shard replica takes for
+    /// every packet it does not host.
+    pub fn skip_meta(&mut self) {
+        self.acc += self.interval_num;
+        let step = self.acc / self.spec.offered_bits;
+        self.acc %= self.spec.offered_bits;
+        self.next_time += step;
+        if self.spec.flows.is_none() {
+            // The tuple draw and the stream advance are the same
+            // operation; discard the value, keep the alignment.
+            let _ = self.next_tuple();
+        }
+        self.seq += 1;
     }
 
     /// Produce the next packet and its arrival time.
@@ -628,5 +657,33 @@ mod tests {
         }
         let gbps = sink.gbps(MILLIS);
         assert!((9.8..10.2).contains(&gbps), "{gbps} Gbps");
+    }
+
+    #[test]
+    fn skip_meta_keeps_the_stream_aligned() {
+        // Skipping k packets must leave the generator in exactly the
+        // state k next_meta calls would — pacing, ports, ids and the
+        // tuple RNG stream — for both the shared-stream and the keyed
+        // flows tuple paths.
+        for flows in [None, Some(16u32)] {
+            let mut spec = TrafficSpec::ipv4_64b(40.0, 7);
+            spec.flows = flows;
+            let mut a = Generator::new(spec);
+            let mut b = Generator::new(spec);
+            let reference: Vec<FrameMeta> = (0..6).map(|_| a.next_meta()).collect();
+            assert_eq!(b.peek_port(), reference[0].port);
+            b.skip_meta();
+            assert_eq!(b.peek_port(), reference[1].port);
+            assert_eq!(b.next_time(), reference[1].t);
+            b.skip_meta();
+            b.skip_meta();
+            for expect in &reference[3..] {
+                let got = b.next_meta();
+                assert_eq!(got.t, expect.t, "pacing aligned (flows={flows:?})");
+                assert_eq!(got.id, expect.id, "ids aligned");
+                assert_eq!(got.port, expect.port, "ports aligned");
+                assert_eq!(got.tuple, expect.tuple, "tuple stream aligned");
+            }
+        }
     }
 }

@@ -32,7 +32,10 @@ pub mod time;
 pub mod trace_summary;
 
 pub use event::{Scheduler, Simulation};
-pub use shard::{run_sharded, CrossQueue, ShardModel, ShardedScheduler};
+pub use shard::{
+    default_shard_threads, run_sharded, run_sharded_on, CrossQueue, ShardModel, ShardRunStats,
+    ShardedScheduler,
+};
 pub use time::{Time, GIGA, KILO, MEGA, MICROS, MILLIS, SECONDS};
 
 /// A simulation model: one big deterministic state machine.
