@@ -12,8 +12,10 @@
 //! current build is slower than the recorded baseline by more than
 //! `PS_BASELINE_TOLERANCE` (default 1.5×).
 //!
-//! The workload grid covers the four applications at the two edge
-//! frame sizes (64 B and 1514 B) plus the two headline sweeps the
+//! The workload grid covers the four paper applications at the two
+//! edge frame sizes (64 B and 1514 B), the stateful NFV pair (NAT and
+//! the L4 load balancer under the IMIX + heavy-tail load, `nat/imix`
+//! and `lb/imix`) plus the two headline sweeps the
 //! perf work is judged on: the Figure 5 batching sweep (IPv4 minimal
 //! forwarding) and the IPsec 64 B sweep (both modes — crypto-bound),
 //! and a `shards/*` scaling matrix running one node-local workload at
@@ -36,7 +38,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use ps_core::apps::{ForwardPattern, IpsecApp, MinimalApp};
+use ps_core::apps::{ForwardPattern, IpsecApp, LbApp, MinimalApp, NatApp};
 use ps_core::{App, Router, RouterConfig};
 use ps_pktgen::{TrafficKind, TrafficSpec};
 use ps_sim::MILLIS;
@@ -77,6 +79,7 @@ fn spec(kind: TrafficKind, frame_len: usize, gbps: f64) -> TrafficSpec {
         ports: 8,
         seed: 42,
         flows: None,
+        ..TrafficSpec::default()
     }
 }
 
@@ -150,7 +153,7 @@ pub fn run_workloads() -> Vec<Sample> {
     let window = window_ms() * MILLIS;
     let mut out = Vec::new();
 
-    // The four applications at the two edge frame sizes, CPU+GPU
+    // The four stateless applications at the two edge frame sizes, CPU+GPU
     // pipeline (paper_gpu): this is the configuration every fig11
     // sweep spends its time in.
     for &frame in &[64usize, 1514] {
@@ -193,6 +196,28 @@ pub fn run_workloads() -> Vec<Sample> {
         out.push(sample(&tag("openflow"), w, p));
     }
 
+    // The stateful NFV tier (DESIGN.md §10) under its standard load:
+    // IMIX blend, 512 heavy-tailed keyed flows. The cuckoo probes and
+    // incremental rewrites run for real, so these rows bound the
+    // wall-clock cost of the per-packet state machinery.
+    {
+        let nfv_spec = crate::experiments::nfv::nfv_spec(40.0, 11);
+        let (w, p) = run_once(
+            RouterConfig::paper_gpu(),
+            || NatApp::new(8, 2, 1 << 20, 0),
+            nfv_spec,
+            window,
+        );
+        out.push(sample("nat/imix", w, p));
+        let (w, p) = run_once(
+            RouterConfig::paper_gpu(),
+            || LbApp::new(crate::experiments::nfv::backend_pool(), 8, 2, 1 << 20, 0),
+            nfv_spec,
+            window,
+        );
+        out.push(sample("lb/imix", w, p));
+    }
+
     // Figure 5 sweep: minimal forwarding, 1 core / 2 ports, 64 B,
     // batch 1..128 — the io-engine wall-clock headline.
     {
@@ -209,6 +234,7 @@ pub fn run_workloads() -> Vec<Sample> {
                     ports: 2,
                     seed: 42,
                     flows: None,
+                    ..TrafficSpec::default()
                 },
                 window,
             );

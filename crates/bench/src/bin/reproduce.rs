@@ -8,7 +8,8 @@
 //! PS_TRACE=stage,gpu reproduce --trace-out t.json
 //! ```
 //!
-//! Flags: `--app ipv4|ipv6|openflow|ipsec|minimal`, `--mode gpu|cpu`,
+//! Flags: `--app ipv4|ipv6|openflow|ipsec|minimal|nat|lb`,
+//! `--mode gpu|cpu`,
 //! `--gbps <f>`, `--frame <bytes>`, `--ms <virtual ms>`,
 //! `--trace-out <path>`. The trace honours `PS_TRACE` (category list)
 //! and `PS_TRACE_CAP` (ring size); without `PS_TRACE` every category
@@ -18,7 +19,7 @@
 
 use ps_bench::trace::{config_from_env_or_all, stage_lane_accounting, traced, write_chrome};
 use ps_bench::workloads;
-use ps_core::apps::{ForwardPattern, IpsecApp, MinimalApp};
+use ps_core::apps::{Backend, ForwardPattern, IpsecApp, LbApp, MinimalApp, NatApp};
 use ps_core::{Mode, Router, RouterConfig, RouterReport};
 use ps_pktgen::{TrafficKind, TrafficSpec};
 use ps_sim::trace_summary::summarize;
@@ -69,7 +70,7 @@ fn parse_args() -> Opts {
             "--trace-out" => opts.trace_out = Some(value("--trace-out")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [--app ipv4|ipv6|openflow|ipsec|minimal] \
+                    "usage: reproduce [--app ipv4|ipv6|openflow|ipsec|minimal|nat|lb] \
                      [--mode gpu|cpu] [--gbps f] [--frame n] [--ms n] [--trace-out path]"
                 );
                 std::process::exit(0);
@@ -95,6 +96,7 @@ fn run(opts: &Opts) -> (RouterReport, Collector) {
         ports: 8,
         seed: 42,
         flows: None,
+        ..TrafficSpec::default()
     };
     let duration = opts.ms * MILLIS;
     let tc = config_from_env_or_all();
@@ -135,8 +137,28 @@ fn run(opts: &Opts) -> (RouterReport, Collector) {
                 duration,
             )
         }),
+        // The stateful NFV tier runs its standard load: IMIX frame
+        // blend, 512 heavy-tailed keyed flows (--frame is ignored).
+        "nat" => {
+            spec = TrafficSpec::imix(opts.gbps, 42).with_heavy_tail(512, 3);
+            traced(tc, || {
+                Router::run(cfg, NatApp::new(8, 2, 1 << 20, 0), spec, duration)
+            })
+        }
+        "lb" => {
+            spec = TrafficSpec::imix(opts.gbps, 42).with_heavy_tail(512, 3);
+            let backends: Vec<Backend> = (0..16)
+                .map(|i| Backend {
+                    ip: 0x0A63_0001 + i,
+                    port: 8080,
+                })
+                .collect();
+            traced(tc, || {
+                Router::run(cfg, LbApp::new(backends, 8, 2, 1 << 20, 0), spec, duration)
+            })
+        }
         other => {
-            eprintln!("reproduce: unknown app {other} (ipv4|ipv6|openflow|ipsec|minimal)");
+            eprintln!("reproduce: unknown app {other} (ipv4|ipv6|openflow|ipsec|minimal|nat|lb)");
             std::process::exit(2);
         }
     }

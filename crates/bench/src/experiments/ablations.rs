@@ -16,6 +16,7 @@ fn spec(kind: TrafficKind, frame_len: usize, gbps: f64) -> TrafficSpec {
         ports: 8,
         seed: 42,
         flows: None,
+        ..TrafficSpec::default()
     }
 }
 

@@ -51,6 +51,7 @@ fn spec(kind: TrafficKind, frame_len: usize) -> TrafficSpec {
         ports: 8,
         seed: 42,
         flows: None,
+        ..TrafficSpec::default()
     }
 }
 

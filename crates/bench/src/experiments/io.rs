@@ -52,6 +52,7 @@ fn spec(kind: TrafficKind, frame_len: usize, gbps: f64, ports: u16) -> TrafficSp
         ports,
         seed: 42,
         flows: None,
+        ..TrafficSpec::default()
     }
 }
 

@@ -18,6 +18,7 @@ fn spec(gbps: f64) -> TrafficSpec {
         ports: 8,
         seed: 42,
         flows: None,
+        ..TrafficSpec::default()
     }
 }
 

@@ -9,6 +9,7 @@ pub mod fig2;
 pub mod io;
 pub mod latency;
 pub mod micro;
+pub mod nfv;
 pub mod trace;
 
 /// Run everything in paper order (the `ps-bench all` entry point).
@@ -29,5 +30,6 @@ pub fn run_all() {
     ablations::gather_scatter();
     ablations::concurrent_copy();
     ablations::opportunistic();
+    nfv::run();
     trace::stage_breakdown();
 }

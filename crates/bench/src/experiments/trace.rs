@@ -86,6 +86,7 @@ pub fn breakdown_for_batch(batch: usize) -> StageBreakdownRow {
         ports: 8,
         seed: 42,
         flows: None,
+        ..TrafficSpec::default()
     };
     let app = workloads::ipv4_app(50_000, 1);
     let (_, collector) = crate::trace::traced(ps_trace::TraceConfig::all(), || {

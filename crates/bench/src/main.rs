@@ -119,7 +119,7 @@ fn main() {
         eprintln!("experiments: spec table1 launch fig2 table3 fig5 fig6 numa");
         eprintln!("             fig11a fig11b fig11c fig11d fig12");
         eprintln!("             ablate-gather ablate-streams ablate-opportunistic");
-        eprintln!("             trace-breakdown all");
+        eprintln!("             nfv nfv-apps nfv-pressure trace-breakdown all");
         std::process::exit(2);
     }
     let tracing = trace_out.is_some() || std::env::var("PS_TRACE").is_ok();
@@ -200,6 +200,15 @@ fn dispatch(name: &str) {
         "trace-breakdown" => {
             ex::trace::stage_breakdown();
         }
+        "nfv" => {
+            ex::nfv::run();
+        }
+        "nfv-apps" => {
+            ex::nfv::cross_nf();
+        }
+        "nfv-pressure" => {
+            ex::nfv::flow_pressure();
+        }
         "dbg-ipsec" => {
             use ps_core::apps::IpsecApp;
             use ps_core::{Router, RouterConfig};
@@ -214,6 +223,7 @@ fn dispatch(name: &str) {
                     ports: 8,
                     seed: 42,
                     flows: None,
+                    ..TrafficSpec::default()
                 };
                 let app = IpsecApp::new([0x42; 16], 0xD00D, b"dbg");
                 let r = Router::run(cfg, app, spec, 8 * ps_sim::MILLIS);
@@ -240,6 +250,7 @@ fn dispatch(name: &str) {
                 ports: 8,
                 seed: 42,
                 flows: None,
+                ..TrafficSpec::default()
             };
             let app = ps_bench::workloads::ipv4_app(50_000, 1);
             let r = Router::run(cfg, app, spec, 2 * ps_sim::MILLIS);

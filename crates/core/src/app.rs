@@ -77,6 +77,15 @@ pub trait App {
         30 * n as u64
     }
 
+    /// A GPU fault aborted node `node`'s in-flight batch (ps-fault's
+    /// `GpuAbort`, modeling a device context reset). The batch itself
+    /// re-runs on the CPU fallback path, but any *device-synchronized
+    /// per-node state* — a stateful NF's flow table — is gone. Apps
+    /// that keep such state flush it here so post-fault behavior
+    /// reflects real recovery (flows re-establish); stateless apps
+    /// keep the no-op default.
+    fn on_gpu_fault(&mut self, _node: usize) {}
+
     /// A fresh, equivalent copy of this (pre-run) app for one shard of
     /// a parallel run, plus its traffic affinity. Return [`None`]
     /// (the default) to opt out of sharded execution entirely —

@@ -1,0 +1,492 @@
+//! L4 load balancer — the second stateful NF of the NFV tier
+//! (DESIGN.md §10).
+//!
+//! Incoming IPv4 UDP/TCP flows are spread over a backend set by
+//! rendezvous (highest-random-weight) hashing: each flow scores every
+//! backend with a deterministic mix of its cuckoo hash and the
+//! backend's index, and the highest score wins. The chosen backend is
+//! pinned in a per-NUMA-node [`FlowCache`], so a flow stays on its
+//! backend for its whole lifetime (*stickiness*) even while the
+//! backend set changes — only flows whose winner disappeared are
+//! remapped, the consistent-hashing property. The destination fields
+//! are DNAT-rewritten in place with incremental checksums.
+//!
+//! State partitioning, the GPU hash offload, fault-induced state loss
+//! and shard replication all follow the NAT app (see `nat.rs` and
+//! DESIGN.md §10.3): per-RX-node caches make replicated runs
+//! byte-identical to sequential ones.
+
+use ps_flow::{FlowCache, FlowCacheStats};
+use ps_gpu::{DeviceBuffer, GpuEngine};
+use ps_hw::ioh::Ioh;
+use ps_io::Packet;
+use ps_net::{classify, Verdict};
+use ps_nic::port::PortId;
+use ps_rng::splitmix64;
+use ps_sim::time::Time;
+
+use super::stateful::{parse_flow, rewrite_dst, stage_keys, KEY_STRIDE};
+use crate::app::{App, PreShadeResult, ShardAffinity};
+use crate::kernels::FlowHashKernel;
+
+/// Per-packet pre-shading cycles: classification + 5-tuple parse.
+const PRE_SHADE_CYCLES: u64 = 70;
+/// Flow-hash cost on the CPU path (the work the GPU absorbs).
+const HASH_CYCLES: u64 = 160;
+/// Cuckoo probe (two buckets, LLC-resident ways).
+const PROBE_CYCLES: u64 = 60;
+/// Header rewrite + incremental checksum updates.
+const REWRITE_CYCLES: u64 = 45;
+/// Per-backend rendezvous score on a cache miss.
+const SCORE_CYCLES: u64 = 8;
+/// Per-relocation cost when an insert kicks residents around.
+const KICK_CYCLES: u64 = 35;
+
+/// Maximum packets one gathered launch stages (16 B keys).
+pub const MAX_GATHER: usize = 65_536;
+
+/// One backend server: where DNAT points the flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backend {
+    /// Backend address.
+    pub ip: u32,
+    /// Backend L4 port.
+    pub port: u16,
+}
+
+struct NodeGpu {
+    input: DeviceBuffer,
+    output: DeviceBuffer,
+}
+
+/// The L4 load-balancer application.
+pub struct LbApp {
+    backends: Vec<Backend>,
+    per_node: Vec<FlowCache<u16>>,
+    ports_per_node: u16,
+    capacity: usize,
+    idle_ns: Time,
+    gpu: Vec<Option<NodeGpu>>,
+    staged: Vec<u8>,
+    out: Vec<u8>,
+    /// Frames that no longer parsed at dispatch time; counted drops.
+    pub malformed: u64,
+    /// Pinned flows lost to GPU faults (summed over nodes).
+    pub state_losses: u64,
+    /// Packets whose pinned backend had left the set (remapped via a
+    /// fresh rendezvous round).
+    pub remaps: u64,
+}
+
+impl LbApp {
+    /// A balancer over `backends` for a machine with `total_ports`
+    /// ports split over `nodes` NUMA nodes, pinning up to `capacity`
+    /// flows per node with `idle_ns` virtual-clock expiry (`0` =
+    /// never).
+    pub fn new(
+        backends: Vec<Backend>,
+        total_ports: u16,
+        nodes: usize,
+        capacity: usize,
+        idle_ns: Time,
+    ) -> LbApp {
+        assert!(!backends.is_empty());
+        assert!(nodes > 0 && total_ports as usize >= nodes * 2);
+        LbApp {
+            backends,
+            per_node: (0..nodes)
+                .map(|_| FlowCache::new(capacity, idle_ns))
+                .collect(),
+            ports_per_node: total_ports / nodes as u16,
+            capacity,
+            idle_ns,
+            gpu: Vec::new(),
+            staged: Vec::new(),
+            out: Vec::new(),
+            malformed: 0,
+            state_losses: 0,
+            remaps: 0,
+        }
+    }
+
+    /// Rendezvous winner for flow hash `h` over `n` backends: the
+    /// index with the highest per-(flow, backend) score. Removing any
+    /// *other* backend cannot change a flow's winner — the consistent
+    /// hashing property the stickiness test pins.
+    pub fn select(h: u64, n: usize) -> u16 {
+        let mut best = 0u16;
+        let mut best_score = 0u64;
+        for i in 0..n {
+            let mut s = h ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let score = splitmix64(&mut s);
+            if score > best_score {
+                best_score = score;
+                best = i as u16;
+            }
+        }
+        best
+    }
+
+    /// Drain one backend (server taken out of rotation). Flows pinned
+    /// to it are remapped lazily on their next packet; everyone else
+    /// keeps their backend.
+    pub fn remove_backend(&mut self, idx: u16) {
+        // Tombstone rather than swap-remove: surviving indices — and
+        // therefore every other flow's rendezvous winner — keep their
+        // meaning.
+        self.backends[idx as usize] = Backend { ip: 0, port: 0 };
+    }
+
+    fn is_live(&self, idx: u16) -> bool {
+        self.backends.get(idx as usize).is_some_and(|b| b.ip != 0)
+    }
+
+    /// Rendezvous over live backends only.
+    fn select_live(&self, h: u64) -> Option<u16> {
+        let mut best: Option<(u64, u16)> = None;
+        for i in 0..self.backends.len() {
+            if self.backends[i].ip == 0 {
+                continue;
+            }
+            let mut s = h ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let score = splitmix64(&mut s);
+            if best.is_none_or(|(b, _)| score > b) {
+                best = Some((score, i as u16));
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    fn node_of(&self, port: PortId) -> usize {
+        (port.0 / self.ports_per_node) as usize % self.per_node.len()
+    }
+
+    /// Pinned flows across all nodes.
+    pub fn occupancy(&self) -> usize {
+        self.per_node.iter().map(FlowCache::occupancy).sum()
+    }
+
+    /// Flow-cache counters summed over nodes.
+    pub fn cache_stats(&self) -> FlowCacheStats {
+        let mut s = FlowCacheStats::default();
+        for c in self.per_node.iter().map(FlowCache::stats) {
+            s.lookups += c.lookups;
+            s.hits += c.hits;
+            s.misses += c.misses;
+            s.inserts += c.inserts;
+            s.updates += c.updates;
+            s.evictions += c.evictions;
+            s.expiries += c.expiries;
+            s.displacements += c.displacements;
+            s.max_depth = s.max_depth.max(c.max_depth);
+        }
+        s
+    }
+
+    /// Dispatch one packet with its flow hash already computed; the
+    /// shared core of both execution paths (see `nat.rs`).
+    fn dispatch(&mut self, p: &mut Packet, hash: u64) -> u64 {
+        let Some(pf) = super::revalidate(&mut self.malformed, parse_flow(&p.data)) else {
+            p.out_port = None;
+            return PROBE_CYCLES;
+        };
+        let node = self.node_of(p.in_port);
+        let now = p.arrival;
+        let mut cycles = PROBE_CYCLES + REWRITE_CYCLES;
+        let pinned = self.per_node[node]
+            .lookup_prehash(hash, &pf.tuple, now)
+            .copied();
+        let idx = match pinned {
+            Some(idx) if self.is_live(idx) => idx,
+            stale => {
+                if stale.is_some() {
+                    self.remaps += 1;
+                }
+                cycles += SCORE_CYCLES * self.backends.len() as u64;
+                let Some(idx) = self.select_live(hash) else {
+                    // No live backend: shed the connection.
+                    p.out_port = None;
+                    return cycles;
+                };
+                let r = self.per_node[node].insert_prehash(hash, pf.tuple, now, idx);
+                cycles += KICK_CYCLES * u64::from(r.displaced);
+                idx
+            }
+        };
+        let b = self.backends[idx as usize];
+        rewrite_dst(&mut p.data, &pf, b.ip, b.port);
+        p.out_port = Some(PortId(p.in_port.0 ^ 1));
+        cycles
+    }
+}
+
+impl App for LbApp {
+    fn name(&self) -> &str {
+        "lb"
+    }
+
+    fn setup_gpu(&mut self, node: usize, eng: &mut GpuEngine) {
+        if self.gpu.len() <= node {
+            self.gpu.resize_with(node + 1, || None);
+        }
+        let input = eng.dev.mem.alloc(MAX_GATHER * KEY_STRIDE);
+        let output = eng.dev.mem.alloc(MAX_GATHER * 8);
+        self.gpu[node] = Some(NodeGpu { input, output });
+    }
+
+    fn pre_shade(&mut self, pkts: &mut Vec<Packet>) -> PreShadeResult {
+        let mut r = PreShadeResult::default();
+        pkts.retain(|p| match classify(&p.data, &[]) {
+            Verdict::FastPath if parse_flow(&p.data).is_some() => true,
+            Verdict::FastPath | Verdict::SlowPath(_) => {
+                r.slow_path += 1;
+                false
+            }
+            Verdict::Drop(_) => {
+                r.dropped += 1;
+                false
+            }
+        });
+        r.cycles = PRE_SHADE_CYCLES * (pkts.len() as u64 + r.dropped + r.slow_path);
+        r
+    }
+
+    fn process_cpu(&mut self, pkts: &mut Vec<Packet>) -> u64 {
+        let mut cycles = 0;
+        for p in pkts.iter_mut() {
+            let hash = match parse_flow(&p.data) {
+                Some(pf) => ps_flow::flow_hash(&pf.tuple),
+                None => 0,
+            };
+            cycles += HASH_CYCLES + self.dispatch(p, hash);
+        }
+        pkts.retain(|p| p.out_port.is_some());
+        cycles
+    }
+
+    fn shade(
+        &mut self,
+        node: usize,
+        eng: &mut GpuEngine,
+        ioh: &mut Ioh,
+        ready: Time,
+        pkts: &mut [Packet],
+    ) -> Time {
+        let n = pkts.len().min(MAX_GATHER);
+        let g = self.gpu[node].as_ref().expect("setup_gpu ran");
+        let (input, output) = (g.input, g.output);
+        let mut staged = std::mem::take(&mut self.staged);
+        stage_keys(&mut self.malformed, &pkts[..n], &mut staged);
+        let h2d = eng.copy_h2d(ready, ioh, &input, 0, &staged);
+        let kernel = FlowHashKernel {
+            input,
+            output,
+            n: n as u32,
+        };
+        let (kdone, _) = eng.launch(h2d, &kernel, n as u32);
+        let mut out = std::mem::take(&mut self.out);
+        out.clear();
+        out.resize(n * 8, 0);
+        let done = eng.copy_d2h(ready, kdone, ioh, &output, 0, &mut out);
+        for (i, p) in pkts[..n].iter_mut().enumerate() {
+            let hash = u64::from_le_bytes(out[i * 8..i * 8 + 8].try_into().expect("fixed"));
+            self.dispatch(p, hash);
+        }
+        self.staged = staged;
+        self.out = out;
+
+        let st = self.per_node[node].stats();
+        let occ = self.per_node[node].occupancy() as u64;
+        ps_trace::counter(
+            ps_trace::Category::Flow,
+            "flow_occupancy",
+            node as u32,
+            done,
+            occ,
+        );
+        ps_trace::counter(
+            ps_trace::Category::Flow,
+            "flow_evictions",
+            node as u32,
+            done,
+            st.evictions,
+        );
+        ps_trace::counter(
+            ps_trace::Category::Flow,
+            "flow_expiries",
+            node as u32,
+            done,
+            st.expiries,
+        );
+        ps_trace::counter(
+            ps_trace::Category::Flow,
+            "flow_kick_depth",
+            node as u32,
+            done,
+            st.max_depth,
+        );
+        done
+    }
+
+    fn post_shade_cycles(&self, n: usize) -> u64 {
+        (PROBE_CYCLES + REWRITE_CYCLES) * n as u64
+    }
+
+    fn on_gpu_fault(&mut self, node: usize) {
+        if let Some(c) = self.per_node.get_mut(node) {
+            self.state_losses += c.flush();
+        }
+    }
+
+    fn shard_replica(&self) -> Option<(Self, ShardAffinity)> {
+        Some((
+            LbApp::new(
+                self.backends.clone(),
+                self.ports_per_node * self.per_node.len() as u16,
+                self.per_node.len(),
+                self.capacity,
+                self.idle_ns,
+            ),
+            ShardAffinity::NodeLocal,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_hw::pcie::PcieModel;
+    use ps_hw::spec::{IohSpec, PcieSpec};
+    use ps_net::ethernet::MacAddr;
+    use ps_net::ethernet::HEADER_LEN as ETH_LEN;
+    use ps_net::{Ipv4Packet, PacketBuilder, UdpDatagram};
+    use std::net::Ipv4Addr;
+
+    fn backends(n: u32) -> Vec<Backend> {
+        (0..n)
+            .map(|i| Backend {
+                ip: 0x0A63_0001 + i,
+                port: 8080,
+            })
+            .collect()
+    }
+
+    fn udp(src: u32, sport: u16, in_port: u16) -> Packet {
+        let f = PacketBuilder::udp_v4(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            Ipv4Addr::from(src),
+            Ipv4Addr::new(198, 51, 100, 1), // the VIP
+            sport,
+            80,
+            64,
+        );
+        Packet::new(0, f, PortId(in_port), 0)
+    }
+
+    fn app(n: u32) -> LbApp {
+        LbApp::new(backends(n), 8, 2, 1 << 16, 0)
+    }
+
+    fn dst(p: &Packet) -> (u32, u16) {
+        let ip = Ipv4Packet::new_unchecked(&p.data[ETH_LEN..]);
+        let udp = UdpDatagram::new_unchecked(&p.data[ETH_LEN + 20..]);
+        (u32::from(ip.dst()), udp.dst_port())
+    }
+
+    #[test]
+    fn flows_spread_over_backends_and_stick() {
+        let mut a = app(8);
+        let mut pkts: Vec<Packet> = (0..256u32).map(|i| udp(0x0A000000 + i, 5000, 0)).collect();
+        a.pre_shade(&mut pkts);
+        a.process_cpu(&mut pkts);
+        let used: std::collections::HashSet<u32> = pkts.iter().map(|p| dst(p).0).collect();
+        assert!(used.len() >= 6, "256 flows spread over most of 8 backends");
+        for p in &pkts {
+            assert!(Ipv4Packet::new_unchecked(&p.data[ETH_LEN..]).verify_checksum());
+        }
+        // Stickiness: the same flows dispatch to the same backends.
+        let first: Vec<(u32, u16)> = pkts.iter().map(dst).collect();
+        let mut again: Vec<Packet> = (0..256u32).map(|i| udp(0x0A000000 + i, 5000, 0)).collect();
+        a.process_cpu(&mut again);
+        assert_eq!(first, again.iter().map(dst).collect::<Vec<_>>());
+        assert_eq!(a.cache_stats().hits, 256);
+    }
+
+    #[test]
+    fn removing_a_backend_only_remaps_its_flows() {
+        let mut a = app(8);
+        let mut pkts: Vec<Packet> = (0..256u32).map(|i| udp(0x0A000000 + i, 5000, 0)).collect();
+        a.process_cpu(&mut pkts);
+        let before: Vec<(u32, u16)> = pkts.iter().map(dst).collect();
+        let victim = before[0].0;
+        let victim_idx = (victim - 0x0A63_0001) as u16;
+        a.remove_backend(victim_idx);
+        let mut again: Vec<Packet> = (0..256u32).map(|i| udp(0x0A000000 + i, 5000, 0)).collect();
+        a.process_cpu(&mut again);
+        for (b, p) in before.iter().zip(&again) {
+            if b.0 == victim {
+                assert_ne!(dst(p).0, victim, "drained backend gets nothing");
+            } else {
+                assert_eq!(dst(p), *b, "surviving flows keep their backend");
+            }
+        }
+        assert!(a.remaps > 0);
+    }
+
+    #[test]
+    fn rendezvous_is_consistent() {
+        // Dropping the *last* backend only remaps flows it owned.
+        for h in [1u64, 99, 0xDEAD_BEEF, u64::MAX] {
+            let with8 = LbApp::select(h, 8);
+            let with7 = LbApp::select(h, 7);
+            if with8 != 7 {
+                assert_eq!(with8, with7, "hash {h:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_path_agrees_with_cpu_path() {
+        let mut cpu = app(4);
+        let mut gpu = app(4);
+        let dev = ps_gpu::GpuDevice::gtx480_with_mem(32 << 20);
+        let mut eng = GpuEngine::new(dev, PcieModel::new(PcieSpec::dual_ioh_x16()));
+        let mut ioh = Ioh::new(IohSpec::intel_5520_dual());
+        gpu.setup_gpu(0, &mut eng);
+        let mk = || {
+            (0..64u32)
+                .map(|i| udp(0x0A000000 + i % 20, 5000, 0))
+                .collect::<Vec<_>>()
+        };
+        let (mut a, mut b) = (mk(), mk());
+        cpu.pre_shade(&mut a);
+        cpu.process_cpu(&mut a);
+        gpu.pre_shade(&mut b);
+        let done = gpu.shade(0, &mut eng, &mut ioh, 0, &mut b);
+        assert!(done > 0);
+        let frames = |v: &[Packet]| {
+            v.iter()
+                .map(|p| (p.data.clone(), p.out_port))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(frames(&a), frames(&b));
+        assert_eq!(cpu.occupancy(), gpu.occupancy());
+    }
+
+    #[test]
+    fn gpu_fault_loses_pins_but_rendezvous_heals_them() {
+        let mut a = app(4);
+        let mut pkts: Vec<Packet> = (0..32u32).map(|i| udp(0x0A000000 + i, 5000, 0)).collect();
+        a.process_cpu(&mut pkts);
+        let before: Vec<(u32, u16)> = pkts.iter().map(dst).collect();
+        a.on_gpu_fault(0);
+        assert_eq!(a.occupancy(), 0);
+        assert_eq!(a.state_losses, 32);
+        // The backend set is intact, so rendezvous re-derives the
+        // same winners: state loss degrades nothing here.
+        let mut again: Vec<Packet> = (0..32u32).map(|i| udp(0x0A000000 + i, 5000, 0)).collect();
+        a.process_cpu(&mut again);
+        assert_eq!(before, again.iter().map(dst).collect::<Vec<_>>());
+    }
+}

@@ -1,18 +1,25 @@
-//! The applications evaluated in §6: minimal forwarding (the packet
+//! The applications evaluated in §6 — minimal forwarding (the packet
 //! I/O experiments of §4.6), IPv4/IPv6 forwarding, OpenFlow switching
-//! and IPsec tunneling — each with a CPU-only path and a GPU shading
-//! path over the same functional code.
+//! and IPsec tunneling — plus the stateful NFV tier (DESIGN.md §10):
+//! a NAT/connection tracker and an L4 load balancer over the cuckoo
+//! flow cache. Each app has a CPU-only path and a GPU shading path
+//! over the same functional code.
 
 mod ipsec;
 mod ipv4;
 mod ipv6;
+mod lb;
 mod minimal;
+mod nat;
 mod openflow;
+mod stateful;
 
 pub use ipsec::IpsecApp;
 pub use ipv4::Ipv4App;
 pub use ipv6::Ipv6App;
+pub use lb::{Backend, LbApp};
 pub use minimal::{ForwardPattern, MinimalApp};
+pub use nat::{ConnState, NatApp, NatBinding};
 pub use openflow::OpenFlowApp;
 
 /// Account for re-parsing ("revalidating") a frame mid-pipeline.

@@ -1,0 +1,609 @@
+//! Source NAT with connection tracking — the first stateful NF of
+//! the NFV tier (DESIGN.md §10).
+//!
+//! Every outbound IPv4 UDP/TCP flow gets a binding in a per-NUMA-node
+//! cuckoo [`FlowCache`]: an external `(address, port)` drawn from the
+//! node's public pool, plus a coarse connection state driven by TCP
+//! flags (UDP flows promote to established on their second packet).
+//! The source fields are rewritten in place with incremental
+//! checksums; translated packets leave through the node-local port
+//! pair, so the app shards barrier-free ([`ShardAffinity::NodeLocal`]).
+//!
+//! State is partitioned by *RX NUMA node* (`in_port / ports_per_node`)
+//! — never global — which is what makes replicated execution
+//! deterministic: each node's packet order is identical in sequential
+//! and sharded runs, so each node's table evolves identically
+//! (DESIGN.md §10.3).
+
+use ps_flow::{FlowCache, FlowCacheStats};
+use ps_gpu::{DeviceBuffer, GpuEngine};
+use ps_hw::ioh::Ioh;
+use ps_io::Packet;
+use ps_net::tcp::TcpFlags;
+use ps_net::{classify, Verdict};
+use ps_nic::port::PortId;
+use ps_sim::time::Time;
+
+use super::stateful::{parse_flow, rewrite_src, stage_keys, KEY_STRIDE};
+use crate::app::{App, PreShadeResult, ShardAffinity};
+use crate::kernels::FlowHashKernel;
+
+/// Per-packet pre-shading cycles: classification + 5-tuple parse.
+const PRE_SHADE_CYCLES: u64 = 70;
+/// Flow-hash cost on the CPU path (the work the GPU absorbs).
+const HASH_CYCLES: u64 = 160;
+/// Cuckoo probe (two buckets, LLC-resident ways).
+const PROBE_CYCLES: u64 = 60;
+/// Header rewrite + incremental checksum updates.
+const REWRITE_CYCLES: u64 = 45;
+/// Per-relocation cost when an insert kicks residents around.
+const KICK_CYCLES: u64 = 35;
+
+/// Maximum packets one gathered launch stages (16 B keys).
+pub const MAX_GATHER: usize = 65_536;
+
+/// Usable external ports per public address (1024..=65535).
+const PORTS_PER_IP: u32 = 64_512;
+/// First usable external port.
+const PORT_MIN: u16 = 1024;
+
+/// Coarse connection state the tracker keeps per binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// First packet seen (TCP SYN, or any first UDP datagram).
+    New,
+    /// Bidirectional-capable: second packet (UDP) or first non-SYN
+    /// segment (TCP) observed.
+    Established,
+    /// A FIN passed; the binding is released on the closing ACK.
+    FinWait,
+}
+
+/// One NAT binding: which external `(address, port)` the flow owns,
+/// encoded as an allocation index into the node's pool.
+#[derive(Debug, Clone, Copy)]
+pub struct NatBinding {
+    ext_id: u32,
+    /// Tracker state.
+    pub state: ConnState,
+}
+
+/// Per-node translator state: the flow cache plus the external
+/// address/port allocator (LIFO free list over a monotonic high-water
+/// counter — both pure functions of the node's packet order).
+struct NodeState {
+    cache: FlowCache<NatBinding>,
+    free: Vec<u32>,
+    next_id: u32,
+    /// Base of the node's public pool (`203.0.113.0`-style, one /24
+    /// stride per node).
+    pool_base: u32,
+}
+
+impl NodeState {
+    fn new(node: usize, capacity: usize, idle_ns: Time) -> NodeState {
+        NodeState {
+            cache: FlowCache::new(capacity, idle_ns),
+            free: Vec::new(),
+            next_id: 0,
+            // A /16 stride per node: room for the multi-address pool
+            // a million-flow table needs (~16 addresses per node).
+            pool_base: 0xCB71_0000 + ((node as u32) << 16),
+        }
+    }
+
+    fn alloc(&mut self) -> u32 {
+        self.free.pop().unwrap_or_else(|| {
+            let id = self.next_id;
+            self.next_id += 1;
+            id
+        })
+    }
+
+    fn ext_addr(&self, id: u32) -> (u32, u16) {
+        (
+            self.pool_base + id / PORTS_PER_IP,
+            PORT_MIN + (id % PORTS_PER_IP) as u16,
+        )
+    }
+}
+
+struct NodeGpu {
+    input: DeviceBuffer,
+    output: DeviceBuffer,
+}
+
+/// The NAT / connection-tracker application.
+pub struct NatApp {
+    per_node: Vec<NodeState>,
+    ports_per_node: u16,
+    capacity: usize,
+    idle_ns: Time,
+    gpu: Vec<Option<NodeGpu>>,
+    staged: Vec<u8>,
+    out: Vec<u8>,
+    /// Frames that no longer parsed at translation time (fault
+    /// injection can damage them mid-pipeline); counted drops.
+    pub malformed: u64,
+    /// Bindings lost to GPU faults (state-loss events, summed over
+    /// nodes).
+    pub state_losses: u64,
+}
+
+impl NatApp {
+    /// A translator for a machine with `total_ports` ports split over
+    /// `nodes` NUMA nodes, keeping up to `capacity` bindings per node
+    /// that expire after `idle_ns` of virtual-clock silence (`0` =
+    /// never).
+    pub fn new(total_ports: u16, nodes: usize, capacity: usize, idle_ns: Time) -> NatApp {
+        assert!(nodes > 0 && total_ports as usize >= nodes * 2);
+        NatApp {
+            per_node: (0..nodes)
+                .map(|n| NodeState::new(n, capacity, idle_ns))
+                .collect(),
+            ports_per_node: total_ports / nodes as u16,
+            capacity,
+            idle_ns,
+            gpu: Vec::new(),
+            staged: Vec::new(),
+            out: Vec::new(),
+            malformed: 0,
+            state_losses: 0,
+        }
+    }
+
+    fn node_of(&self, port: PortId) -> usize {
+        (port.0 / self.ports_per_node) as usize % self.per_node.len()
+    }
+
+    /// Live bindings across all nodes.
+    pub fn occupancy(&self) -> usize {
+        self.per_node.iter().map(|n| n.cache.occupancy()).sum()
+    }
+
+    /// Flow-cache counters summed over nodes.
+    pub fn cache_stats(&self) -> FlowCacheStats {
+        let mut s = FlowCacheStats::default();
+        for n in &self.per_node {
+            let c = n.cache.stats();
+            s.lookups += c.lookups;
+            s.hits += c.hits;
+            s.misses += c.misses;
+            s.inserts += c.inserts;
+            s.updates += c.updates;
+            s.evictions += c.evictions;
+            s.expiries += c.expiries;
+            s.displacements += c.displacements;
+            s.max_depth = s.max_depth.max(c.max_depth);
+        }
+        s
+    }
+
+    /// Translate one packet with its flow hash already computed.
+    /// Returns the cycle charge. The shared core of both execution
+    /// paths: CPU-only hashes on the host, the GPU path feeds the
+    /// device-computed hash in — identical table evolution either way.
+    fn translate(&mut self, p: &mut Packet, hash: u64) -> u64 {
+        let Some(pf) = super::revalidate(&mut self.malformed, parse_flow(&p.data)) else {
+            p.out_port = None;
+            return PROBE_CYCLES;
+        };
+        let node = self.node_of(p.in_port);
+        let now = p.arrival;
+        let ns = &mut self.per_node[node];
+        let flags = TcpFlags(pf.tcp_flags);
+        let mut cycles = PROBE_CYCLES + REWRITE_CYCLES;
+
+        let binding = match ns.cache.lookup_prehash(hash, &pf.tuple, now) {
+            Some(b) => {
+                // Tracker transitions on the observed packet.
+                if flags.0 & TcpFlags::RST != 0 {
+                    let b = *b;
+                    ns.cache.remove(&pf.tuple);
+                    ns.free.push(b.ext_id);
+                    b
+                } else if flags.0 & TcpFlags::FIN != 0 {
+                    b.state = ConnState::FinWait;
+                    *b
+                } else if b.state == ConnState::FinWait && flags.ack() {
+                    // The closing ACK: translate it, then release.
+                    let b = *b;
+                    ns.cache.remove(&pf.tuple);
+                    ns.free.push(b.ext_id);
+                    b
+                } else {
+                    if b.state == ConnState::New {
+                        b.state = ConnState::Established;
+                    }
+                    *b
+                }
+            }
+            None => {
+                let binding = NatBinding {
+                    ext_id: ns.alloc(),
+                    state: ConnState::New,
+                };
+                let r = ns.cache.insert_prehash(hash, pf.tuple, now, binding);
+                cycles += KICK_CYCLES * u64::from(r.displaced);
+                if let Some((_, old)) = r.evicted {
+                    // The LRU victim's external address returns to the
+                    // pool — bounded state, no leaks under churn.
+                    ns.free.push(old.ext_id);
+                }
+                binding
+            }
+        };
+        let (ip, port) = ns.ext_addr(binding.ext_id);
+        rewrite_src(&mut p.data, &pf, ip, port);
+        p.out_port = Some(PortId(p.in_port.0 ^ 1));
+        cycles
+    }
+}
+
+impl App for NatApp {
+    fn name(&self) -> &str {
+        "nat"
+    }
+
+    fn setup_gpu(&mut self, node: usize, eng: &mut GpuEngine) {
+        if self.gpu.len() <= node {
+            self.gpu.resize_with(node + 1, || None);
+        }
+        let input = eng.dev.mem.alloc(MAX_GATHER * KEY_STRIDE);
+        let output = eng.dev.mem.alloc(MAX_GATHER * 8);
+        self.gpu[node] = Some(NodeGpu { input, output });
+    }
+
+    fn pre_shade(&mut self, pkts: &mut Vec<Packet>) -> PreShadeResult {
+        let mut r = PreShadeResult::default();
+        pkts.retain(|p| match classify(&p.data, &[]) {
+            Verdict::FastPath if parse_flow(&p.data).is_some() => true,
+            Verdict::FastPath | Verdict::SlowPath(_) => {
+                // Non-IPv4 / non-UDP/TCP traffic is not translated;
+                // the host stack handles it.
+                r.slow_path += 1;
+                false
+            }
+            Verdict::Drop(_) => {
+                r.dropped += 1;
+                false
+            }
+        });
+        r.cycles = PRE_SHADE_CYCLES * (pkts.len() as u64 + r.dropped + r.slow_path);
+        r
+    }
+
+    fn process_cpu(&mut self, pkts: &mut Vec<Packet>) -> u64 {
+        let mut cycles = 0;
+        for p in pkts.iter_mut() {
+            let hash = match parse_flow(&p.data) {
+                Some(pf) => ps_flow::flow_hash(&pf.tuple),
+                None => 0, // translate() recounts the parse failure
+            };
+            cycles += HASH_CYCLES + self.translate(p, hash);
+        }
+        pkts.retain(|p| p.out_port.is_some());
+        cycles
+    }
+
+    fn shade(
+        &mut self,
+        node: usize,
+        eng: &mut GpuEngine,
+        ioh: &mut Ioh,
+        ready: Time,
+        pkts: &mut [Packet],
+    ) -> Time {
+        let n = pkts.len().min(MAX_GATHER);
+        let g = self.gpu[node].as_ref().expect("setup_gpu ran");
+        let (input, output) = (g.input, g.output);
+        let mut staged = std::mem::take(&mut self.staged);
+        stage_keys(&mut self.malformed, &pkts[..n], &mut staged);
+        let h2d = eng.copy_h2d(ready, ioh, &input, 0, &staged);
+        let kernel = FlowHashKernel {
+            input,
+            output,
+            n: n as u32,
+        };
+        let (kdone, _) = eng.launch(h2d, &kernel, n as u32);
+        let mut out = std::mem::take(&mut self.out);
+        out.clear();
+        out.resize(n * 8, 0);
+        let done = eng.copy_d2h(ready, kdone, ioh, &output, 0, &mut out);
+
+        // Host-side table application in arrival order, with the
+        // device-computed hashes (functional post-shading).
+        for (i, p) in pkts[..n].iter_mut().enumerate() {
+            let hash = u64::from_le_bytes(out[i * 8..i * 8 + 8].try_into().expect("fixed"));
+            self.translate(p, hash);
+        }
+        self.staged = staged;
+        self.out = out;
+
+        let st = self.per_node[node].cache.stats();
+        let occ = self.per_node[node].cache.occupancy() as u64;
+        ps_trace::counter(
+            ps_trace::Category::Flow,
+            "flow_occupancy",
+            node as u32,
+            done,
+            occ,
+        );
+        ps_trace::counter(
+            ps_trace::Category::Flow,
+            "flow_evictions",
+            node as u32,
+            done,
+            st.evictions,
+        );
+        ps_trace::counter(
+            ps_trace::Category::Flow,
+            "flow_expiries",
+            node as u32,
+            done,
+            st.expiries,
+        );
+        ps_trace::counter(
+            ps_trace::Category::Flow,
+            "flow_kick_depth",
+            node as u32,
+            done,
+            st.max_depth,
+        );
+        done
+    }
+
+    fn post_shade_cycles(&self, n: usize) -> u64 {
+        (PROBE_CYCLES + REWRITE_CYCLES) * n as u64
+    }
+
+    fn on_gpu_fault(&mut self, node: usize) {
+        // The device context reset takes the node's synchronized flow
+        // state with it: every binding is lost, flows re-establish
+        // through the miss path. The allocator's high-water mark
+        // survives (fresh bindings never collide with lost ones); the
+        // free list is part of the lost state.
+        if let Some(ns) = self.per_node.get_mut(node) {
+            self.state_losses += ns.cache.flush();
+            ns.free.clear();
+        }
+    }
+
+    fn shard_replica(&self) -> Option<(Self, ShardAffinity)> {
+        Some((
+            NatApp::new(
+                self.ports_per_node * self.per_node.len() as u16,
+                self.per_node.len(),
+                self.capacity,
+                self.idle_ns,
+            ),
+            ShardAffinity::NodeLocal,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_hw::pcie::PcieModel;
+    use ps_hw::spec::{IohSpec, PcieSpec};
+    use ps_net::ethernet::MacAddr;
+    use ps_net::ethernet::HEADER_LEN as ETH_LEN;
+    use ps_net::{Ipv4Packet, PacketBuilder, UdpDatagram};
+    use std::net::Ipv4Addr;
+
+    fn udp(src: u32, sport: u16, in_port: u16) -> Packet {
+        let f = PacketBuilder::udp_v4(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            Ipv4Addr::from(src),
+            Ipv4Addr::new(8, 8, 8, 8),
+            sport,
+            443,
+            64,
+        );
+        Packet::new(0, f, PortId(in_port), 0)
+    }
+
+    fn tcp(src: u32, sport: u16, flags: u8, in_port: u16) -> Packet {
+        // Hand-built TCP: reuse the UDP builder's IP framing, then
+        // overwrite the L4 header (the builder has no TCP variant).
+        let mut f = PacketBuilder::udp_v4(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            Ipv4Addr::from(src),
+            Ipv4Addr::new(8, 8, 8, 8),
+            sport,
+            443,
+            74,
+        );
+        {
+            let mut ip = Ipv4Packet::new_unchecked(&mut f[ETH_LEN..]);
+            ip.set_protocol(ps_net::ipv4::protocol::TCP);
+            ip.fill_checksum();
+        }
+        let l4 = ETH_LEN + 20;
+        f[l4..].fill(0);
+        f[l4..l4 + 2].copy_from_slice(&sport.to_be_bytes());
+        f[l4 + 2..l4 + 4].copy_from_slice(&443u16.to_be_bytes());
+        f[l4 + 12] = 5 << 4; // data offset
+        f[l4 + 13] = flags;
+        Packet::new(0, f, PortId(in_port), 0)
+    }
+
+    fn app() -> NatApp {
+        NatApp::new(8, 2, 1 << 16, 0)
+    }
+
+    #[test]
+    fn first_packet_binds_and_rewrites_source() {
+        let mut a = app();
+        let mut pkts = vec![udp(0x0A000001, 5000, 0)];
+        a.pre_shade(&mut pkts);
+        a.process_cpu(&mut pkts);
+        let ip = Ipv4Packet::new_unchecked(&pkts[0].data[ETH_LEN..]);
+        assert_eq!(u32::from(ip.src()), 0xCB71_0000, "node 0 pool base");
+        assert!(ip.verify_checksum());
+        let udp = UdpDatagram::new_unchecked(&pkts[0].data[ETH_LEN + 20..]);
+        assert_eq!(udp.src_port(), PORT_MIN);
+        assert_eq!(pkts[0].out_port, Some(PortId(1)), "node-local pair");
+        assert_eq!(a.occupancy(), 1);
+    }
+
+    #[test]
+    fn same_flow_reuses_its_binding_distinct_flows_do_not() {
+        let mut a = app();
+        let mut pkts = vec![
+            udp(0x0A000001, 5000, 0),
+            udp(0x0A000001, 5000, 0),
+            udp(0x0A000002, 5000, 0),
+        ];
+        a.pre_shade(&mut pkts);
+        a.process_cpu(&mut pkts);
+        let port = |p: &Packet| UdpDatagram::new_unchecked(&p.data[ETH_LEN + 20..]).src_port();
+        assert_eq!(port(&pkts[0]), port(&pkts[1]), "sticky binding");
+        assert_ne!(
+            port(&pkts[0]),
+            port(&pkts[2]),
+            "distinct flow, distinct port"
+        );
+        assert_eq!(a.occupancy(), 2);
+        assert_eq!(a.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn udp_flows_promote_to_established() {
+        let mut a = app();
+        let mut first = vec![udp(0x0A000001, 5000, 0)];
+        a.process_cpu(&mut first);
+        let t = (0x0A000001u32, 0x08080808u32, 5000u16, 443u16, 17u8);
+        assert_eq!(
+            a.per_node[0].cache.lookup(&t, 0).map(|b| b.state),
+            Some(ConnState::New)
+        );
+        let mut second = vec![udp(0x0A000001, 5000, 0)];
+        a.process_cpu(&mut second);
+        assert_eq!(
+            a.per_node[0].cache.lookup(&t, 0).map(|b| b.state),
+            Some(ConnState::Established)
+        );
+    }
+
+    #[test]
+    fn tcp_lifecycle_releases_the_binding() {
+        let mut a = app();
+        let syn = TcpFlags::SYN;
+        let ack = TcpFlags::ACK;
+        let fin = TcpFlags::FIN | TcpFlags::ACK;
+        for flags in [syn, ack, ack] {
+            let mut p = vec![tcp(0x0A000001, 6000, flags, 0)];
+            a.process_cpu(&mut p);
+            assert_eq!(p.len(), 1);
+        }
+        assert_eq!(a.occupancy(), 1);
+        let mut p = vec![tcp(0x0A000001, 6000, fin, 0)];
+        a.process_cpu(&mut p); // FIN -> FinWait
+        assert_eq!(a.occupancy(), 1);
+        let mut p = vec![tcp(0x0A000001, 6000, ack, 0)];
+        a.process_cpu(&mut p); // closing ACK -> released
+        assert_eq!(a.occupancy(), 0, "binding released after close");
+        // The external port returns to the pool: the next flow gets it.
+        let mut p = vec![udp(0x0A000009, 7000, 0)];
+        a.process_cpu(&mut p);
+        let port = UdpDatagram::new_unchecked(&p[0].data[ETH_LEN + 20..]).src_port();
+        assert_eq!(port, PORT_MIN, "LIFO free list recycles the port");
+    }
+
+    #[test]
+    fn rst_releases_immediately() {
+        let mut a = app();
+        let mut p = vec![tcp(0x0A000001, 6000, TcpFlags::SYN, 0)];
+        a.process_cpu(&mut p);
+        assert_eq!(a.occupancy(), 1);
+        let mut p = vec![tcp(0x0A000001, 6000, TcpFlags::RST, 0)];
+        a.process_cpu(&mut p);
+        assert_eq!(a.occupancy(), 0);
+    }
+
+    #[test]
+    fn state_is_partitioned_per_node() {
+        let mut a = app();
+        // Same 5-tuple arriving on both nodes: two independent
+        // bindings from two independent pools.
+        let mut pkts = vec![udp(0x0A000001, 5000, 0), udp(0x0A000001, 5000, 4)];
+        a.pre_shade(&mut pkts);
+        a.process_cpu(&mut pkts);
+        let src = |p: &Packet| u32::from(Ipv4Packet::new_unchecked(&p.data[ETH_LEN..]).src());
+        assert_eq!(src(&pkts[0]) >> 16, 0xCB71, "node 0 pool");
+        assert_eq!(src(&pkts[1]) >> 16, 0xCB72, "node 1 pool");
+        assert_eq!(a.per_node[0].cache.occupancy(), 1);
+        assert_eq!(a.per_node[1].cache.occupancy(), 1);
+    }
+
+    #[test]
+    fn gpu_path_agrees_with_cpu_path() {
+        let mut cpu = app();
+        let mut gpu = app();
+        let dev = ps_gpu::GpuDevice::gtx480_with_mem(32 << 20);
+        let mut eng = GpuEngine::new(dev, PcieModel::new(PcieSpec::dual_ioh_x16()));
+        let mut ioh = Ioh::new(IohSpec::intel_5520_dual());
+        gpu.setup_gpu(0, &mut eng);
+
+        let mk = || {
+            vec![
+                udp(0x0A000001, 5000, 0),
+                udp(0x0A000002, 5001, 1),
+                udp(0x0A000001, 5000, 0),
+                tcp(0x0A000003, 6000, TcpFlags::SYN, 2),
+            ]
+        };
+        let mut a = mk();
+        let mut b = mk();
+        cpu.pre_shade(&mut a);
+        cpu.process_cpu(&mut a);
+        gpu.pre_shade(&mut b);
+        let done = gpu.shade(0, &mut eng, &mut ioh, 0, &mut b);
+        assert!(done > 0);
+        let frames = |v: &[Packet]| {
+            v.iter()
+                .map(|p| (p.data.clone(), p.out_port))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(frames(&a), frames(&b), "byte-identical translations");
+        assert_eq!(cpu.occupancy(), gpu.occupancy());
+    }
+
+    #[test]
+    fn gpu_fault_loses_state_and_flows_reestablish() {
+        let mut a = app();
+        let mut pkts = vec![udp(0x0A000001, 5000, 0), udp(0x0A000002, 5001, 0)];
+        a.process_cpu(&mut pkts);
+        assert_eq!(a.occupancy(), 2);
+        a.on_gpu_fault(0);
+        assert_eq!(a.occupancy(), 0);
+        assert_eq!(a.state_losses, 2);
+        // Graceful re-sync: the same flow comes back through the miss
+        // path with a fresh binding from the untouched high-water mark.
+        let mut again = vec![udp(0x0A000001, 5000, 0)];
+        a.process_cpu(&mut again);
+        assert_eq!(a.occupancy(), 1);
+        let port = UdpDatagram::new_unchecked(&again[0].data[ETH_LEN + 20..]).src_port();
+        assert_eq!(port, PORT_MIN + 2, "post-loss bindings never collide");
+    }
+
+    #[test]
+    fn idle_bindings_expire_on_the_virtual_clock() {
+        let mut a = NatApp::new(8, 2, 1 << 10, 1_000);
+        let mut p0 = vec![udp(0x0A000001, 5000, 0)];
+        a.process_cpu(&mut p0); // arrival 0
+        let mut late = vec![udp(0x0A000002, 6000, 0)];
+        late[0].arrival = 10_000;
+        a.process_cpu(&mut late);
+        assert_eq!(
+            a.per_node[0].cache.expire_idle(10_000),
+            1,
+            "first flow idled out"
+        );
+        assert_eq!(a.occupancy(), 1);
+    }
+}

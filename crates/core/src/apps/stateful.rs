@@ -1,0 +1,220 @@
+//! Shared plumbing for the stateful NFs (NAT and the L4 load
+//! balancer): 5-tuple extraction, incremental header rewrites, and
+//! the flow-hash GPU staging layout both apps use.
+//!
+//! Both NFs follow the same offload split as OpenFlow (§6.2.3): the
+//! GPU computes the per-packet flow hash over the staged canonical
+//! tuple bytes, and the host applies the stateful table operations in
+//! arrival order with the hash precomputed — so the CPU path and the
+//! GPU path run the *same* table code on the *same* hash function and
+//! stay functionally identical.
+
+use ps_flow::FlowTuple;
+use ps_net::ethernet::HEADER_LEN as ETH_LEN;
+use ps_net::ipv4::protocol;
+use ps_net::{checksum, EtherType, EthernetFrame, Ipv4Packet, TcpSegment, UdpDatagram};
+
+/// Staged bytes per packet: 13 canonical tuple bytes + 3 pad, so the
+/// device reads stay 4-aligned.
+pub(crate) const KEY_STRIDE: usize = 16;
+
+/// Byte offsets of the IPv4 fields the rewrites patch (no options on
+/// the fast path, so the layout is fixed).
+const IP_CKSUM: usize = ETH_LEN + 10;
+const IP_SRC: usize = ETH_LEN + 12;
+const IP_DST: usize = ETH_LEN + 16;
+
+/// A parsed fast-path flow: the cuckoo key plus what the rewrite and
+/// the connection tracker need.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ParsedFlow {
+    /// The 5-tuple `(src, dst, sport, dport, proto)`.
+    pub tuple: FlowTuple,
+    /// Byte offset of the L4 header within the frame.
+    pub l4: usize,
+    /// Raw TCP flag byte (`0` for UDP).
+    pub tcp_flags: u8,
+}
+
+/// Extract the 5-tuple of an IPv4 UDP/TCP frame. Anything else —
+/// IPv6, other protocols, truncated L4 headers — returns [`None`]:
+/// the stateful NFs divert those to the slow path.
+pub(crate) fn parse_flow(data: &[u8]) -> Option<ParsedFlow> {
+    let eth = EthernetFrame::new_checked(data).ok()?;
+    if eth.ethertype() != EtherType::Ipv4 {
+        return None;
+    }
+    let ip = Ipv4Packet::new_checked(eth.payload()).ok()?;
+    if ip.has_options() {
+        return None;
+    }
+    let proto = ip.protocol();
+    let (sport, dport, tcp_flags) = match proto {
+        protocol::UDP => {
+            let u = UdpDatagram::new_checked(ip.payload()).ok()?;
+            (u.src_port(), u.dst_port(), 0)
+        }
+        protocol::TCP => {
+            let t = TcpSegment::new_checked(ip.payload()).ok()?;
+            (t.src_port(), t.dst_port(), t.flags().0)
+        }
+        _ => return None,
+    };
+    Some(ParsedFlow {
+        tuple: (
+            u32::from(ip.src()),
+            u32::from(ip.dst()),
+            sport,
+            dport,
+            proto,
+        ),
+        l4: ETH_LEN + ps_net::ipv4::HEADER_LEN,
+        tcp_flags,
+    })
+}
+
+fn read16(data: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes([data[off], data[off + 1]])
+}
+
+fn write16(data: &mut [u8], off: usize, v: u16) {
+    data[off..off + 2].copy_from_slice(&v.to_be_bytes());
+}
+
+/// Fold a 32-bit address change into a 16-bit checksum (two RFC 1624
+/// halfword updates).
+fn update_addr(ck: u16, old: u32, new: u32) -> u16 {
+    let ck = checksum::update16(ck, (old >> 16) as u16, (new >> 16) as u16);
+    checksum::update16(ck, old as u16, new as u16)
+}
+
+/// Offset of the L4 checksum field, if the frame carries one that
+/// must track the pseudo-header (a UDP checksum of 0 means "none").
+fn l4_cksum_off(data: &[u8], l4: usize, proto: u8) -> Option<usize> {
+    match proto {
+        protocol::TCP => Some(l4 + 16),
+        protocol::UDP if read16(data, l4 + 6) != 0 => Some(l4 + 6),
+        _ => None,
+    }
+}
+
+/// Rewrite one address + port pair (source for SNAT, destination for
+/// the load balancer's DNAT), updating the IP header checksum and the
+/// L4 checksum incrementally — never a full re-sum.
+fn rewrite(
+    data: &mut [u8],
+    l4: usize,
+    proto: u8,
+    addr_off: usize,
+    port_off: usize,
+    ip: u32,
+    port: u16,
+) {
+    let old_ip = u32::from_be_bytes(data[addr_off..addr_off + 4].try_into().expect("fixed"));
+    let old_port = read16(data, port_off);
+    data[addr_off..addr_off + 4].copy_from_slice(&ip.to_be_bytes());
+    write16(data, port_off, port);
+    let ipck = update_addr(read16(data, IP_CKSUM), old_ip, ip);
+    write16(data, IP_CKSUM, ipck);
+    if let Some(off) = l4_cksum_off(data, l4, proto) {
+        // The addresses feed the pseudo-header sum; the port is a
+        // covered payload halfword.
+        let ck = update_addr(read16(data, off), old_ip, ip);
+        let mut ck = checksum::update16(ck, old_port, port);
+        if proto == protocol::UDP && ck == 0 {
+            ck = 0xFFFF; // RFC 768: computed 0 transmits as 0xFFFF
+        }
+        write16(data, off, ck);
+    }
+}
+
+/// SNAT: rewrite the source address and port.
+pub(crate) fn rewrite_src(data: &mut [u8], pf: &ParsedFlow, ip: u32, port: u16) {
+    rewrite(data, pf.l4, pf.tuple.4, IP_SRC, pf.l4, ip, port);
+}
+
+/// DNAT: rewrite the destination address and port.
+pub(crate) fn rewrite_dst(data: &mut [u8], pf: &ParsedFlow, ip: u32, port: u16) {
+    rewrite(data, pf.l4, pf.tuple.4, IP_DST, pf.l4 + 2, ip, port);
+}
+
+/// Stage the canonical key bytes of every parsed packet at
+/// [`KEY_STRIDE`] spacing (malformed frames stage a zero key; the
+/// caller discards their result).
+pub(crate) fn stage_keys(malformed: &mut u64, pkts: &[ps_io::Packet], staged: &mut Vec<u8>) {
+    staged.clear();
+    staged.resize(pkts.len() * KEY_STRIDE, 0);
+    for (i, p) in pkts.iter().enumerate() {
+        if let Some(pf) = super::revalidate(malformed, parse_flow(&p.data)) {
+            staged[i * KEY_STRIDE..i * KEY_STRIDE + 13]
+                .copy_from_slice(&ps_flow::tuple_bytes(&pf.tuple));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_net::ethernet::MacAddr;
+    use ps_net::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    fn udp_frame() -> Vec<u8> {
+        PacketBuilder::udp_v4(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            Ipv4Addr::new(10, 1, 2, 3),
+            Ipv4Addr::new(192, 168, 9, 9),
+            4000,
+            53,
+            96,
+        )
+    }
+
+    #[test]
+    fn parses_the_5_tuple() {
+        let pf = parse_flow(&udp_frame()).expect("udp parses");
+        assert_eq!(pf.tuple, (0x0A010203, 0xC0A80909, 4000, 53, protocol::UDP));
+        assert_eq!(pf.tcp_flags, 0);
+    }
+
+    #[test]
+    fn rejects_non_ip_and_non_l4() {
+        let mut arp = udp_frame();
+        arp[12..14].copy_from_slice(&0x0806u16.to_be_bytes());
+        assert!(parse_flow(&arp).is_none());
+        let mut icmp = udp_frame();
+        {
+            let mut ip = Ipv4Packet::new_unchecked(&mut icmp[ETH_LEN..]);
+            ip.set_protocol(protocol::ICMP);
+            ip.fill_checksum();
+        }
+        assert!(parse_flow(&icmp).is_none());
+    }
+
+    #[test]
+    fn incremental_rewrites_keep_checksums_valid() {
+        let mut f = udp_frame();
+        let pf = parse_flow(&f).expect("parses");
+        rewrite_src(&mut f, &pf, 0xCB007101, 61_234);
+        let ip = Ipv4Packet::new_unchecked(&f[ETH_LEN..]);
+        assert_eq!(u32::from(ip.src()), 0xCB007101);
+        assert!(ip.verify_checksum(), "IP checksum tracks the rewrite");
+        let udp = UdpDatagram::new_unchecked(&f[pf.l4..]);
+        assert_eq!(udp.src_port(), 61_234);
+        assert!(
+            udp.verify_checksum_v4(0xCB007101u32.to_be_bytes(), ip.dst().octets()),
+            "UDP checksum tracks the pseudo-header"
+        );
+
+        let mut g = udp_frame();
+        let pf = parse_flow(&g).expect("parses");
+        rewrite_dst(&mut g, &pf, 0x0A0A0A0A, 8080);
+        let ip = Ipv4Packet::new_unchecked(&g[ETH_LEN..]);
+        assert_eq!(u32::from(ip.dst()), 0x0A0A0A0A);
+        assert!(ip.verify_checksum());
+        let udp = UdpDatagram::new_unchecked(&g[pf.l4..]);
+        assert_eq!(udp.dst_port(), 8080);
+        assert!(udp.verify_checksum_v4(ip.src().octets(), 0x0A0A0A0Au32.to_be_bytes()));
+    }
+}

@@ -1,9 +1,10 @@
-//! The GPU kernels of the four applications.
+//! The GPU kernels of the applications.
 //!
 //! Each kernel is real Rust executed once per simulated GPU thread;
 //! memory traffic goes through [`ThreadCtx`] so the timing model sees
 //! the true access pattern (coalesced input reads, scattered table
-//! probes, block-parallel AES, per-packet HMAC).
+//! probes, block-parallel AES, per-packet HMAC, per-packet flow
+//! hashing for the stateful NFs).
 
 use ps_crypto::aes::{ctr_counter_block, Aes128};
 use ps_crypto::hmac::HmacSha1;
@@ -196,6 +197,38 @@ pub fn flow_key_from_bytes(b: &[u8; 32]) -> FlowKey {
         nw_proto: b[26],
         tp_src: u16::from_be_bytes([b[27], b[28]]),
         tp_dst: u16::from_be_bytes([b[29], b[30]]),
+    }
+}
+
+/// Flow-hash offload for the stateful NFs (NAT, L4 load balancer):
+/// one thread per packet hashes the staged canonical 5-tuple bytes
+/// with the cuckoo table's hash function. The host applies the
+/// stateful table operations in arrival order with the hash
+/// precomputed — the same split as OpenFlow's hash offload (§6.2.3).
+pub struct FlowHashKernel {
+    /// Input: packed 16 B key slots (13 canonical tuple bytes + pad).
+    pub input: DeviceBuffer,
+    /// Output: packed u64 hashes.
+    pub output: DeviceBuffer,
+    /// Valid packets.
+    pub n: u32,
+}
+
+impl Kernel for FlowHashKernel {
+    fn name(&self) -> &str {
+        "flow-hash"
+    }
+
+    fn thread(&self, tid: u32, ctx: &mut ThreadCtx<'_>) {
+        if tid >= self.n {
+            return;
+        }
+        let raw: [u8; 16] = ctx.read(&self.input, tid as usize * 16);
+        // Two splitmix64 rounds over the packed words: ~24 ALU ops.
+        ctx.alu(24);
+        let key: [u8; 13] = raw[..13].try_into().expect("fixed");
+        let h = ps_flow::flow_hash_bytes(&key);
+        ctx.write(&self.output, tid as usize * 8, &h.to_le_bytes());
     }
 }
 

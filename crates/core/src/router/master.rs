@@ -96,7 +96,14 @@ impl<A: App> Router<A> {
                     start = ready + stall_ns;
                     fallback = escalate;
                 }
-                ShadeFault::GpuAbort => fallback = true,
+                ShadeFault::GpuAbort => {
+                    fallback = true;
+                    // A device context reset loses any state the app
+                    // keeps synchronized on this node's GPU (a
+                    // stateful NF's flow table); let it reconcile
+                    // before the CPU fallback re-runs the batch.
+                    self.app.on_gpu_fault(node);
+                }
                 ShadeFault::Straggle { extra_pct } => straggle_pct = extra_pct,
             }
         }

@@ -123,6 +123,7 @@ fn meta_hash_matches_frame_parse() {
                 ports: 4,
                 seed: 9,
                 flows,
+                ..TrafficSpec::default()
             });
             for _ in 0..200 {
                 let meta = g.next_meta();

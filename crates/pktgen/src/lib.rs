@@ -29,6 +29,46 @@ pub enum TrafficKind {
     Ipv6Udp,
 }
 
+/// Frame-length mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameMix {
+    /// Every frame is `frame_len` bytes — the paper's fixed-size runs.
+    Fixed,
+    /// The standard "Simple IMIX" blend: 64, 594 and 1518 B frames in
+    /// a 7:4:1 ratio over a repeating 12-frame cycle (`frame_len` is
+    /// ignored). The length of each frame is a pure function of its
+    /// sequence number, so the skip path stays randomness-free.
+    Imix,
+}
+
+/// How keyed traffic (`flows = Some(k)`) spreads packets over the
+/// flow population. Ignored when `flows` is `None` (every packet a
+/// fresh random flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowModel {
+    /// Round-robin: packet `seq` belongs to flow `seq % k`, so every
+    /// flow is the same size (the OpenFlow exact-table workload).
+    Uniform,
+    /// Heavy-tailed flow sizes: packet `seq` maps to flow
+    /// `⌊k·u^exponent⌋` for a per-packet uniform `u` derived purely
+    /// from `(seed, seq)` — a few elephant flows near id 0 carry most
+    /// packets while a long tail of mice carries the rest. Larger
+    /// exponents mean a heavier head; 1 degenerates to uniform flow
+    /// *popularity* (not round-robin). Purely functional: the skip
+    /// path draws nothing.
+    HeavyTail {
+        /// Concentration exponent (≥ 1; 3 is a realistic mix).
+        exponent: u32,
+    },
+}
+
+/// The Simple IMIX frame lengths (bytes, no FCS).
+pub const IMIX_LENS: [usize; 3] = [64, 594, 1518];
+
+/// The repeating 12-frame IMIX cycle: indexes into [`IMIX_LENS`],
+/// interleaved 7:4:1 so every port sees all three sizes.
+const IMIX_PATTERN: [usize; 12] = [0, 0, 1, 0, 0, 1, 2, 0, 1, 0, 0, 1];
+
 /// Generator configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct TrafficSpec {
@@ -45,9 +85,32 @@ pub struct TrafficSpec {
     pub seed: u64,
     /// Restrict traffic to a fixed flow population (`None` = every
     /// packet is a fresh random flow, the paper's default). With
-    /// `Some(k)`, flow `seq % k` always carries the same addresses and
-    /// ports — the workload OpenFlow exact-match tables need.
+    /// `Some(k)`, each flow id always carries the same addresses and
+    /// ports — the workload OpenFlow exact-match tables and the
+    /// stateful NFs need. Which flow a packet belongs to is decided
+    /// by [`TrafficSpec::model`].
     pub flows: Option<u32>,
+    /// Frame-length mix ([`FrameMix::Fixed`] reproduces the paper).
+    pub mix: FrameMix,
+    /// Flow-size model for keyed traffic.
+    pub model: FlowModel,
+}
+
+impl Default for TrafficSpec {
+    /// 64 B fixed-size IPv4 frames, 1 Gbps over 8 ports, seed 0,
+    /// unkeyed flows — override what a workload needs.
+    fn default() -> TrafficSpec {
+        TrafficSpec {
+            kind: TrafficKind::Ipv4Udp,
+            frame_len: 64,
+            offered_bits: 1_000_000_000,
+            ports: 8,
+            seed: 0,
+            flows: None,
+            mix: FrameMix::Fixed,
+            model: FlowModel::Uniform,
+        }
+    }
 }
 
 impl TrafficSpec {
@@ -55,13 +118,27 @@ impl TrafficSpec {
     /// workload of the evaluation.
     pub fn ipv4_64b(gbps: f64, seed: u64) -> TrafficSpec {
         TrafficSpec {
-            kind: TrafficKind::Ipv4Udp,
-            frame_len: 64,
             offered_bits: (gbps * 1e9) as u64,
-            ports: 8,
             seed,
-            flows: None,
+            ..TrafficSpec::default()
         }
+    }
+
+    /// IMIX-blend IPv4 frames at `gbps` across 8 ports — the realistic
+    /// frame mix the stateful-NFV evaluation offers.
+    pub fn imix(gbps: f64, seed: u64) -> TrafficSpec {
+        TrafficSpec {
+            mix: FrameMix::Imix,
+            ..TrafficSpec::ipv4_64b(gbps, seed)
+        }
+    }
+
+    /// Restrict this spec to `flows` keyed flows with heavy-tailed
+    /// flow sizes of the given concentration exponent.
+    pub fn with_heavy_tail(mut self, flows: u32, exponent: u32) -> TrafficSpec {
+        self.flows = Some(flows);
+        self.model = FlowModel::HeavyTail { exponent };
+        self
     }
 }
 
@@ -194,7 +271,7 @@ impl FrameTemplate {
 }
 
 /// The varying fields of one generated frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Tuple {
     /// IPv4 source/destination addresses + UDP ports.
     V4 {
@@ -228,6 +305,9 @@ pub struct FrameMeta {
     pub port: PortId,
     /// Frame length in bytes (no FCS).
     pub len: usize,
+    /// Index into the generator's template set (one per frame length
+    /// class; always 0 for fixed-size traffic).
+    class: u8,
     tuple: Tuple,
 }
 
@@ -262,12 +342,16 @@ impl FrameMeta {
 pub struct Generator {
     spec: TrafficSpec,
     rng: Rng,
-    interval_num: u64,
+    /// Per-length-class pacing numerator (`wire_bits * 1e9`); one
+    /// entry for fixed-size traffic, one per IMIX length otherwise.
+    intervals: Vec<u64>,
     /// Fixed-point remainder accumulation for exact pacing.
     acc: u64,
     next_time: Time,
     seq: u64,
-    tmpl: FrameTemplate,
+    /// One prebuilt template per length class, parallel to
+    /// `intervals`.
+    tmpls: Vec<FrameTemplate>,
 }
 
 impl Generator {
@@ -275,22 +359,37 @@ impl Generator {
     pub fn new(spec: TrafficSpec) -> Generator {
         assert!(spec.offered_bits > 0);
         assert!(spec.ports > 0);
-        let wire_bits = (ps_net::wire_len(spec.frame_len) * 8) as u64;
+        let lens: Vec<usize> = match spec.mix {
+            FrameMix::Fixed => vec![spec.frame_len],
+            FrameMix::Imix => IMIX_LENS.to_vec(),
+        };
         // ns per packet = wire_bits * 1e9 / offered_bits, kept as a
         // rational to avoid drift.
+        let intervals = lens
+            .iter()
+            .map(|&l| (ps_net::wire_len(l) * 8) as u64 * 1_000_000_000)
+            .collect();
+        let tmpls = lens
+            .iter()
+            .map(|&l| FrameTemplate::new(spec.kind, l, MacAddr::local(1), MacAddr::local(2)))
+            .collect();
         Generator {
             spec,
             rng: Rng::seed_from_u64(spec.seed),
-            interval_num: wire_bits * 1_000_000_000,
+            intervals,
             acc: 0,
             next_time: 0,
             seq: 0,
-            tmpl: FrameTemplate::new(
-                spec.kind,
-                spec.frame_len,
-                MacAddr::local(1),
-                MacAddr::local(2),
-            ),
+            tmpls,
+        }
+    }
+
+    /// Length class of packet `seq` — a pure function, so the skip
+    /// path can pace variable-size mixes without any stream state.
+    fn class_of(&self, seq: u64) -> usize {
+        match self.spec.mix {
+            FrameMix::Fixed => 0,
+            FrameMix::Imix => IMIX_PATTERN[(seq % 12) as usize],
         }
     }
 
@@ -322,7 +421,7 @@ impl Generator {
     /// entirely. This is the fast path a shard replica takes for
     /// every packet it does not host.
     pub fn skip_meta(&mut self) {
-        self.acc += self.interval_num;
+        self.acc += self.intervals[self.class_of(self.seq)];
         let step = self.acc / self.spec.offered_bits;
         self.acc %= self.spec.offered_bits;
         self.next_time += step;
@@ -347,7 +446,8 @@ impl Generator {
     /// frame is later materialized.
     pub fn next_meta(&mut self) -> FrameMeta {
         let t = self.next_time;
-        self.acc += self.interval_num;
+        let class = self.class_of(self.seq);
+        self.acc += self.intervals[class];
         let step = self.acc / self.spec.offered_bits;
         self.acc %= self.spec.offered_bits;
         self.next_time += step;
@@ -356,7 +456,8 @@ impl Generator {
             t,
             id: self.seq,
             port: PortId((self.seq % u64::from(self.spec.ports)) as u16),
-            len: self.tmpl.buf.len(),
+            len: self.tmpls[class].buf.len(),
+            class: class as u8,
             tuple: self.next_tuple(),
         };
         self.seq += 1;
@@ -367,19 +468,20 @@ impl Generator {
     /// as a [`Packet`]. Pure function of the metadata: byte-identical
     /// to what [`Self::next_packet`] would have produced.
     pub fn materialize_into(&self, meta: &FrameMeta, buf: Vec<u8>) -> Packet {
+        let tmpl = &self.tmpls[meta.class as usize];
         let data = match meta.tuple {
             Tuple::V4 {
                 src,
                 dst,
                 sport,
                 dport,
-            } => self.tmpl.frame_v4_into(src, dst, sport, dport, buf),
+            } => tmpl.frame_v4_into(src, dst, sport, dport, buf),
             Tuple::V6 {
                 src,
                 dst,
                 sport,
                 dport,
-            } => self.tmpl.frame_v6_into(src, dst, sport, dport, buf),
+            } => tmpl.frame_v6_into(src, dst, sport, dport, buf),
         };
         let mut p = Packet::new(meta.id, data, meta.port, meta.t);
         p.arrival = meta.t;
@@ -407,12 +509,36 @@ impl Generator {
         )
     }
 
+    /// Flow id of keyed packet `seq` under the heavy-tailed model —
+    /// a pure function of `(seed, seq)` so the skip path needs no
+    /// stream state. Maps a per-packet uniform `u` through `k·u^e`:
+    /// flow 0 is the biggest elephant, high ids are mice.
+    pub fn heavy_flow_id(spec: &TrafficSpec, seq: u64, k: u32, exponent: u32) -> u32 {
+        let mut z = spec
+            .seed
+            .wrapping_add(0x5EAF_00D5)
+            .wrapping_add(seq.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let u = (ps_rng::splitmix64(&mut z) >> 11) as f64 / (1u64 << 53) as f64;
+        // Integer-exponent power by repeated multiplication: exactly
+        // reproducible (no libm powf in the deterministic core).
+        let mut p = 1.0f64;
+        for _ in 0..exponent.max(1) {
+            p *= u;
+        }
+        ((p * f64::from(k)) as u32).min(k - 1)
+    }
+
     /// Draw the next frame's varying fields, in the exact RNG order
     /// the original frame builder used (the tuple stream is part of
     /// the deterministic contract pinned by the fastpath guard).
     fn next_tuple(&mut self) -> Tuple {
         if let Some(k) = self.spec.flows {
-            let id = (self.seq % u64::from(k)) as u32;
+            let id = match self.spec.model {
+                FlowModel::Uniform => (self.seq % u64::from(k)) as u32,
+                FlowModel::HeavyTail { exponent } => {
+                    Self::heavy_flow_id(&self.spec, self.seq, k, exponent)
+                }
+            };
             let (src, dst, sport, dport) = Self::flow_tuple(&self.spec, id);
             return match self.spec.kind {
                 TrafficKind::Ipv4Udp => Tuple::V4 {
@@ -528,12 +654,9 @@ mod tests {
     #[test]
     fn pacing_has_no_drift() {
         let spec = TrafficSpec {
-            kind: TrafficKind::Ipv4Udp,
-            frame_len: 64,
             offered_bits: 3 * GIGA, // awkward divisor
-            ports: 8,
             seed: 2,
-            flows: None,
+            ..TrafficSpec::default()
         };
         let mut g = Generator::new(spec);
         let window = SECONDS / 20;
@@ -559,11 +682,10 @@ mod tests {
         for kind in [TrafficKind::Ipv4Udp, TrafficKind::Ipv6Udp] {
             let mut g = Generator::new(TrafficSpec {
                 kind,
-                frame_len: 64,
                 offered_bits: GIGA,
                 ports: 4,
                 seed: 7,
-                flows: None,
+                ..TrafficSpec::default()
             });
             for _ in 0..50 {
                 let (_, p) = g.next_packet();
@@ -660,14 +782,98 @@ mod tests {
     }
 
     #[test]
+    fn imix_blend_has_the_7_4_1_ratio() {
+        let mut g = Generator::new(TrafficSpec::imix(10.0, 4));
+        let mut counts = [0u64; 3];
+        for _ in 0..1200 {
+            let m = g.next_meta();
+            let class = IMIX_LENS
+                .iter()
+                .position(|&l| l == m.len)
+                .expect("imix len");
+            counts[class] += 1;
+        }
+        assert_eq!(counts, [700, 400, 100], "7:4:1 over each 12-frame cycle");
+    }
+
+    #[test]
+    fn imix_pacing_matches_offered_load() {
+        // 10 Gbps of the IMIX blend: mean wire length = (7*88 + 4*618
+        // + 1542) / 12 = 385.17 B -> ~3.245 Mpps -> ~3245 per ms.
+        let mut g = Generator::new(TrafficSpec::imix(10.0, 1));
+        let pkts = g.packets_until(MILLIS);
+        let wire: u64 = pkts.iter().map(|(_, p)| p.len() as u64 + 24).sum();
+        let gbps = wire as f64 * 8.0 / 1e6;
+        assert!((9.8..10.2).contains(&gbps), "{gbps} Gbps offered");
+        let n = pkts.len();
+        assert!((3200..3290).contains(&n), "{n} packets per ms");
+    }
+
+    #[test]
+    fn imix_frames_are_well_formed_and_materialize_identically() {
+        let mut g = Generator::new(TrafficSpec::imix(10.0, 9));
+        for _ in 0..36 {
+            let meta = g.next_meta();
+            let p = g.materialize_into(&meta, Vec::new());
+            assert_eq!(p.len(), meta.len);
+            assert!(IMIX_LENS.contains(&p.len()));
+            assert_eq!(ps_net::classify(&p.data, &[]), ps_net::Verdict::FastPath);
+        }
+    }
+
+    #[test]
+    fn heavy_tail_concentrates_on_few_flows() {
+        let k = 4096u32;
+        let spec = TrafficSpec::ipv4_64b(10.0, 21).with_heavy_tail(k, 3);
+        let mut g = Generator::new(spec);
+        let mut per_flow = std::collections::HashMap::new();
+        let n = 100_000u64;
+        for _ in 0..n {
+            let m = g.next_meta();
+            *per_flow.entry(m.tuple).or_insert(0u64) += 1;
+        }
+        let mut sizes: Vec<u64> = per_flow.values().copied().collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        // With u^3 the top decile of flows carries q^(1/3) ≈ 46% of
+        // packets (a uniform population would carry ~10%).
+        let top = sizes.iter().take(sizes.len() / 10).sum::<u64>();
+        assert!(
+            top as f64 > 0.4 * n as f64,
+            "top-decile share {top}/{n} not heavy-tailed"
+        );
+        assert!(sizes[0] > n / 100, "largest flow too small: {}", sizes[0]);
+    }
+
+    #[test]
+    fn heavy_flow_id_is_a_pure_function() {
+        let spec = TrafficSpec::ipv4_64b(1.0, 33).with_heavy_tail(1 << 20, 3);
+        for seq in [0u64, 1, 77, 1 << 33] {
+            let a = Generator::heavy_flow_id(&spec, seq, 1 << 20, 3);
+            let b = Generator::heavy_flow_id(&spec, seq, 1 << 20, 3);
+            assert_eq!(a, b);
+            assert!(a < 1 << 20);
+        }
+    }
+
+    #[test]
     fn skip_meta_keeps_the_stream_aligned() {
         // Skipping k packets must leave the generator in exactly the
         // state k next_meta calls would — pacing, ports, ids and the
         // tuple RNG stream — for both the shared-stream and the keyed
         // flows tuple paths.
+        let mut specs = vec![];
         for flows in [None, Some(16u32)] {
             let mut spec = TrafficSpec::ipv4_64b(40.0, 7);
             spec.flows = flows;
+            specs.push(spec);
+        }
+        // Variable-size and heavy-tailed streams must satisfy the same
+        // contract: their length class and flow id are pure functions
+        // of seq, so the skip path stays aligned for free.
+        specs.push(TrafficSpec::imix(40.0, 7));
+        specs.push(TrafficSpec::imix(40.0, 7).with_heavy_tail(64, 3));
+        for spec in specs {
+            let flows = spec.flows;
             let mut a = Generator::new(spec);
             let mut b = Generator::new(spec);
             let reference: Vec<FrameMeta> = (0..6).map(|_| a.next_meta()).collect();

@@ -26,6 +26,7 @@ pub fn pid_of(cat: Category) -> u32 {
         Category::Fabric => 3,
         Category::Io => 4,
         Category::Fault => 5,
+        Category::Flow => 6,
     }
 }
 

@@ -30,16 +30,21 @@ pub enum Category {
     /// stalls, GPU aborts/stragglers). Fault-free runs emit none, so
     /// enabling the category costs nothing when no plan is armed.
     Fault,
+    /// Stateful-NF flow cache: per-node occupancy, eviction/expiry
+    /// totals and cuckoo displacement depth gauges (emitted by the
+    /// NAT and load-balancer apps in `ps-core`).
+    Flow,
 }
 
 impl Category {
     /// All categories, in export order.
-    pub const ALL: [Category; 5] = [
+    pub const ALL: [Category; 6] = [
         Category::Stage,
         Category::Gpu,
         Category::Fabric,
         Category::Io,
         Category::Fault,
+        Category::Flow,
     ];
 
     #[inline]
@@ -50,6 +55,7 @@ impl Category {
             Category::Fabric => 1 << 2,
             Category::Io => 1 << 3,
             Category::Fault => 1 << 4,
+            Category::Flow => 1 << 5,
         }
     }
 
@@ -62,6 +68,7 @@ impl Category {
             Category::Fabric => "fabric",
             Category::Io => "io",
             Category::Fault => "fault",
+            Category::Flow => "flow",
         }
     }
 
@@ -73,6 +80,7 @@ impl Category {
             "fabric" => Some(Category::Fabric),
             "io" => Some(Category::Io),
             "fault" => Some(Category::Fault),
+            "flow" => Some(Category::Flow),
             _ => None,
         }
     }
@@ -84,7 +92,7 @@ pub struct CategoryMask(pub(crate) u8);
 
 impl CategoryMask {
     /// Every category enabled.
-    pub const ALL: CategoryMask = CategoryMask(0b11111);
+    pub const ALL: CategoryMask = CategoryMask(0b111111);
     /// No category enabled.
     pub const NONE: CategoryMask = CategoryMask(0);
 

@@ -28,6 +28,7 @@ fn run(cfg: RouterConfig, gbps: f64) -> (f64, u64) {
         ports: 8,
         seed: 42,
         flows: None,
+        ..TrafficSpec::default()
     };
     let r = Router::run(cfg, app(), spec, 2 * MILLIS);
     (r.latency.mean() / 1000.0, r.latency.p99() / 1000)

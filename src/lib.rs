@@ -23,7 +23,8 @@
 //! | [`crypto`] | `ps-crypto` | AES-128-CTR, SHA-1, HMAC, ESP transforms |
 //! | [`openflow`] | `ps-openflow` | exact + wildcard flow tables |
 //! | [`io`] | `ps-io` | huge packet buffer, batched I/O cost models |
-//! | [`core`] | `ps-core` | the PacketShader framework + 4 applications |
+//! | [`core`] | `ps-core` | the PacketShader framework + six applications |
+//! | [`flow`] | `ps-flow` | deterministic cuckoo flow cache for the stateful NFs |
 //! | [`pktgen`] | `ps-pktgen` | traffic generator / latency sink |
 //! | [`rng`] | `ps-rng` | deterministic RNG (SplitMix64 + xoshiro256**) |
 //! | [`check`] | `ps-check` | seeded property-testing harness |
@@ -61,6 +62,7 @@ pub use ps_check as check;
 pub use ps_core as core;
 pub use ps_crypto as crypto;
 pub use ps_fault as fault;
+pub use ps_flow as flow;
 pub use ps_gpu as gpu;
 pub use ps_hw as hw;
 pub use ps_io as io;

@@ -1,6 +1,6 @@
 //! Reproducibility: identical seeds must replay identical virtual-time
 //! results, in both modes — the property every experiment in
-//! EXPERIMENTS.md rests on. Fingerprints cover all four applications
+//! EXPERIMENTS.md rests on. Fingerprints cover the four stateless applications
 //! (IPv4, Minimal, IPsec, OpenFlow), and a different-seed test guards
 //! against a seed being silently ignored anywhere in the pipeline.
 

@@ -1,5 +1,6 @@
 //! End-to-end router runs: packets in, correctly forwarded packets
-//! out, across all four applications and both execution modes.
+//! out, across the four stateless applications and both execution modes
+//! (the stateful NFV pair has its own suites in nfv.rs/shards.rs).
 
 use packetshader::core::apps::{ForwardPattern, IpsecApp, Ipv4App, Ipv6App, MinimalApp};
 use packetshader::core::{Router, RouterConfig};
@@ -30,6 +31,7 @@ fn spec(kind: TrafficKind, gbps: f64) -> TrafficSpec {
         ports: 8,
         seed: 42,
         flows: None,
+        ..TrafficSpec::default()
     }
 }
 

@@ -332,6 +332,7 @@ fn faulted_fingerprint(traffic_seed: u64, faults: FaultSpec) -> (Fp, u64) {
         ports: 2,
         seed: traffic_seed,
         flows: None,
+        ..TrafficSpec::default()
     };
     let r = Router::run(cfg, Ipv4App::new(&routes), spec, MILLIS / 4);
     (report_fp(&r), r.faults.fingerprint())
@@ -558,6 +559,7 @@ fn every_app_degrades_gracefully_under_all_faults() {
         ports: 8,
         seed,
         flows: None,
+        ..TrafficSpec::default()
     };
     let mut cell = 0u64;
     for mode in ["cpu", "gpu"] {

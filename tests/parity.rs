@@ -35,6 +35,7 @@ fn traffic(kind: TrafficKind, n: usize, seed: u64) -> Vec<Packet> {
         ports: 8,
         seed,
         flows: None,
+        ..TrafficSpec::default()
     });
     (0..n).map(|_| g.next_packet().1).collect()
 }

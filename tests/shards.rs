@@ -21,7 +21,9 @@
 //! [`ShardedScheduler`] itself against a sort-based oracle.
 
 use packetshader::check::{check, ensure_eq, Gen};
-use packetshader::core::apps::{ForwardPattern, IpsecApp, Ipv4App, MinimalApp, OpenFlowApp};
+use packetshader::core::apps::{
+    Backend, ForwardPattern, IpsecApp, Ipv4App, LbApp, MinimalApp, NatApp, OpenFlowApp,
+};
 use packetshader::core::{App, Router, RouterConfig, RouterReport};
 use packetshader::fault::FaultSpec;
 use packetshader::lookup::route::Route4;
@@ -85,6 +87,7 @@ fn wide_spec(nodes: usize, gbps: f64, seed: u64) -> TrafficSpec {
         ports: 2 * nodes as u16,
         seed,
         flows: None,
+        ..TrafficSpec::default()
     }
 }
 
@@ -117,6 +120,7 @@ fn ipv6_identical_across_shard_counts() {
         ports: 8,
         seed: 5,
         flows: None,
+        ..TrafficSpec::default()
     };
     assert_parity(
         "ipv6 gpu",
@@ -146,6 +150,56 @@ fn openflow_identical_across_shard_counts() {
         "openflow cpu",
         RouterConfig::paper_cpu(),
         || OpenFlowApp::new(workloads::openflow_switch(&spec, 64, 16)),
+        spec,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 1b. The stateful NFV tier (ISSUE 7): per-node flow state must make
+//     replicated runs byte-identical to sequential ones.
+// ---------------------------------------------------------------------------
+
+/// NAT under the realistic stateful-NFV load: IMIX frames, 512
+/// heavy-tailed keyed flows. The connection tracker, the external
+/// port allocator and the cuckoo cache are all per-RX-node, so every
+/// shard count must reproduce the sequential binding history exactly.
+#[test]
+fn nat_identical_across_shard_counts() {
+    let spec = TrafficSpec::imix(20.0, 5).with_heavy_tail(512, 3);
+    let mk = || NatApp::new(8, 2, 1 << 16, 0);
+    assert_parity("nat cpu", RouterConfig::paper_cpu(), mk, spec);
+    assert_parity("nat gpu", RouterConfig::paper_gpu(), mk, spec);
+}
+
+/// The L4 load balancer under the same load: rendezvous selection is
+/// stateless, but the stickiness pins live in per-node caches whose
+/// hit/miss history feeds the cycle budget — so timing parity requires
+/// state parity.
+#[test]
+fn lb_identical_across_shard_counts() {
+    let spec = TrafficSpec::imix(20.0, 5).with_heavy_tail(512, 3);
+    let backends: Vec<Backend> = (0..16)
+        .map(|i| Backend {
+            ip: 0x0A63_0001 + i,
+            port: 8080,
+        })
+        .collect();
+    let mk = || LbApp::new(backends.clone(), 8, 2, 1 << 16, 0);
+    assert_parity("lb cpu", RouterConfig::paper_cpu(), mk, spec);
+    assert_parity("lb gpu", RouterConfig::paper_gpu(), mk, spec);
+}
+
+/// Four real NAT replicas on a four-node box (shards 4 and 8 are not
+/// clamped): four independent allocators and caches merge into the
+/// sequential report byte for byte.
+#[test]
+fn nat_parity_on_four_nodes() {
+    let mut spec = TrafficSpec::imix(20.0, 7).with_heavy_tail(512, 3);
+    spec.ports = 8;
+    assert_parity(
+        "nat 4-node",
+        wide_cfg(4),
+        || NatApp::new(8, 4, 1 << 16, 0),
         spec,
     );
 }
