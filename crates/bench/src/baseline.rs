@@ -269,12 +269,72 @@ pub fn run_workloads() -> Vec<Sample> {
         out.push(sample("sweep/ipsec-64B", wall, pkts));
     }
 
+    // Staging bytes-per-packet ledger: the PCIe traffic each staging
+    // mode moves per packet, as deterministic virtual-time rows. See
+    // `staging_bytes_rows` for why they ride the ns_per_pkt field.
+    out.extend(staging_bytes_rows(window));
+
     // Sharded data plane scaling matrix (DESIGN.md §9): one
     // node-local workload under identical offered load at every shard
     // count. See `run_scaling_matrix`.
     out.extend(run_scaling_matrix(window));
 
     out
+}
+
+/// Host→device staging bytes per packet for IPv4 and OpenFlow under
+/// each staging mode, recorded as `bytes-h2d/<app>-64B-<mode>` rows.
+/// The id is self-describing: the `ns_per_pkt` field carries *bytes
+/// per staged packet*, a deterministic virtual-time quantity — so
+/// `--compare` reproduces it exactly (ratio 1.0) and any change to
+/// what the column layer ships over PCIe trips the tolerance gate
+/// like a wall-clock regression would.
+pub fn staging_bytes_rows(window: u64) -> Vec<Sample> {
+    use ps_core::Staging;
+    let mut out = Vec::new();
+    for mode in [Staging::Frames, Staging::Soa, Staging::DirectDma] {
+        let mut cfg = RouterConfig::paper_gpu();
+        cfg.staging = mode;
+
+        let r = Router::run(
+            cfg,
+            workloads::ipv4_app(50_000, 1),
+            spec(TrafficKind::Ipv4Udp, 64, 80.0),
+            window,
+        );
+        out.push(bytes_sample(
+            &format!("bytes-h2d/ipv4-64B-{}", mode.label()),
+            &r,
+        ));
+
+        let mut of_spec = spec(TrafficKind::Ipv4Udp, 64, 80.0);
+        of_spec.flows = Some(8192);
+        let r = Router::run(
+            cfg,
+            workloads::openflow_app(&of_spec, 8192, 32),
+            of_spec,
+            window,
+        );
+        out.push(bytes_sample(
+            &format!("bytes-h2d/openflow-64B-{}", mode.label()),
+            &r,
+        ));
+    }
+    out
+}
+
+/// A [`Sample`] whose `ns_per_pkt` field carries h2d bytes per staged
+/// packet (see [`staging_bytes_rows`]).
+fn bytes_sample(id: &str, r: &ps_core::RouterReport) -> Sample {
+    let (h2d, _, pkts) = r.staging.unwrap_or((0, 0, 0));
+    let bpp = h2d as f64 / (pkts as f64).max(1.0);
+    Sample {
+        id: id.to_string(),
+        wall_secs: 0.0,
+        pkts,
+        ns_per_pkt: bpp,
+        pkts_per_sec: 0.0,
+    }
 }
 
 /// The shard counts the scaling matrix measures.

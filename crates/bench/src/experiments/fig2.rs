@@ -61,6 +61,7 @@ pub fn gpu_rate(table: &V6Table, addrs: &[u128], batch: usize) -> f64 {
         table: tbuf,
         layout: table.layout().clone(),
         input,
+        slots: ps_gpu::Slots::packed(16),
         output,
         n: batch as u32,
     };

@@ -10,6 +10,7 @@ pub mod io;
 pub mod latency;
 pub mod micro;
 pub mod nfv;
+pub mod staging;
 pub mod trace;
 
 /// Run everything in paper order (the `ps-bench all` entry point).
@@ -30,6 +31,7 @@ pub fn run_all() {
     ablations::gather_scatter();
     ablations::concurrent_copy();
     ablations::opportunistic();
+    staging::run();
     nfv::run();
     trace::stage_breakdown();
 }

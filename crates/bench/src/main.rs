@@ -8,6 +8,8 @@
 //! ps-bench fig11a fig11b fig11c fig11d fig12
 //! ps-bench launch spec
 //! ps-bench ablate-gather ablate-streams ablate-opportunistic
+//! ps-bench ablate-staging                # frames vs SoA vs direct-DMA
+//! ps-bench --ablation direct-dma [o.json]# same sweep + JSON artifact
 //! ps-bench trace-breakdown
 //! ps-bench --trace-out t.json fig6   # also dump the virtual-time trace
 //! ps-bench --baseline [out.json]     # record wall-clock ns/pkt snapshot
@@ -86,6 +88,29 @@ fn main() {
             }
         }
     }
+    // Staging ablation with a JSON artifact: `--ablation direct-dma
+    // [out.json]` runs the frames/soa/direct-dma sweep (the direct-DMA
+    // delta is its headline) and writes the rows for CI upload.
+    if let Some(i) = args.iter().position(|a| a == "--ablation") {
+        if i + 1 >= args.len() {
+            eprintln!("ps-bench: --ablation needs a name (direct-dma)");
+            std::process::exit(2);
+        }
+        let name = args.remove(i + 1);
+        if name != "direct-dma" && name != "staging" {
+            eprintln!("ps-bench: unknown ablation {name} (have: direct-dma)");
+            std::process::exit(2);
+        }
+        let path = args
+            .get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "staging_ablation.json".to_string());
+        if let Err(e) = ex::staging::run_and_write(&path) {
+            eprintln!("ps-bench: staging ablation failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     // Fault-degradation sweep: exclusive mode like the baseline
     // harness (fault plans and trace collectors are orthogonal; the
     // sweep prints its own fault_summary tables).
@@ -115,10 +140,13 @@ fn main() {
         eprintln!("       ps-bench --baseline [out.json] | --compare [base.json]");
         eprintln!("       ps-bench --scaling [out.json]  (shard matrix + ratio gates)");
         eprintln!("       ps-bench --faults <nic|corrupt|pcie|gpu|all>   (degradation sweep)");
+        eprintln!(
+            "       ps-bench --ablation direct-dma [out.json]      (staging sweep + artifact)"
+        );
         eprintln!("       (--shards n, or PS_SHARDS=n, runs eligible workloads on n threads)");
         eprintln!("experiments: spec table1 launch fig2 table3 fig5 fig6 numa");
         eprintln!("             fig11a fig11b fig11c fig11d fig12");
-        eprintln!("             ablate-gather ablate-streams ablate-opportunistic");
+        eprintln!("             ablate-gather ablate-streams ablate-opportunistic ablate-staging");
         eprintln!("             nfv nfv-apps nfv-pressure trace-breakdown all");
         std::process::exit(2);
     }
@@ -196,6 +224,9 @@ fn dispatch(name: &str) {
         }
         "ablate-opportunistic" => {
             ex::ablations::opportunistic();
+        }
+        "ablate-staging" => {
+            ex::staging::run();
         }
         "trace-breakdown" => {
             ex::trace::stage_breakdown();

@@ -1,7 +1,7 @@
 //! The application interface: the three callbacks of §5.1 (pre-shader,
 //! shader, post-shader) plus a CPU-only path for the baseline mode.
 
-use ps_gpu::GpuEngine;
+use ps_gpu::{GpuEngine, Staging};
 use ps_hw::ioh::Ioh;
 use ps_io::Packet;
 use ps_sim::time::Time;
@@ -44,9 +44,25 @@ pub trait App {
     /// Application name for reports.
     fn name(&self) -> &str;
 
+    /// Select the GPU staging mode (`RouterConfig.staging`). Called by
+    /// `Router::new` *before* any [`App::setup_gpu`] call so device
+    /// buffers can be sized for the mode. Column-staged apps forward
+    /// this to their `ColumnStage`; apps whose kernels consume full
+    /// payloads anyway (IPsec) keep the no-op default.
+    fn set_staging(&mut self, _mode: Staging) {}
+
     /// Upload persistent state (table images, keys) to node `node`'s
     /// GPU. Called once per device before the simulation starts.
     fn setup_gpu(&mut self, node: usize, eng: &mut GpuEngine);
+
+    /// Cumulative host-PCIe staging traffic over the whole run:
+    /// `(h2d_bytes, d2h_bytes, staged_packets)` summed across this
+    /// app's kernel launches, or [`None`] for apps without a column
+    /// stage. Surfaced through `RouterReport` so benches can report
+    /// bytes-per-packet without the trace layer.
+    fn staging_totals(&self) -> Option<(u64, u64, u64)> {
+        None
+    }
 
     /// Pre-shading (worker): classify, rewrite headers, stage GPU
     /// inputs. Must retain only fast-path packets in `pkts`.

@@ -3,7 +3,7 @@
 
 use std::net::Ipv4Addr;
 
-use ps_gpu::{DeviceBuffer, GpuEngine};
+use ps_gpu::{DeviceBuffer, GpuEngine, Staging};
 use ps_hw::ioh::Ioh;
 use ps_io::Packet;
 use ps_lookup::dir24::{self, Dir24Table};
@@ -18,6 +18,7 @@ use ps_sim::time::Time;
 
 use super::{CYCLES_PER_NS, ROUTER_LOOKUP_OVERLAP, TABLE_MISS_NS};
 use crate::app::{App, PreShadeResult};
+use crate::columns::{ColumnStage, IPV4_COLUMNS};
 use crate::kernels::Ipv4Kernel;
 
 /// Per-packet pre-shading cycles: parse + verdict + TTL/checksum
@@ -43,11 +44,10 @@ pub struct Ipv4App {
     /// double-buffering direction: the upload rides the normal copy
     /// engine, so the data path keeps flowing).
     dirty: Vec<bool>,
-    /// Reused gather staging (destination addresses), zero-alloc in
-    /// steady state.
-    staged: Vec<u8>,
-    /// Reused scatter buffer (next hops).
-    hops: Vec<u8>,
+    /// The destination-address column stage: gather/scatter buffers
+    /// (zero-alloc in steady state), mode-dependent transfer and PCIe
+    /// byte accounting.
+    stage: ColumnStage,
     /// Lookups performed (for reports).
     pub lookups: u64,
     /// Frames whose bytes no longer parsed at lookup time (fault
@@ -64,8 +64,7 @@ impl Ipv4App {
             local: Vec::new(),
             gpu: Vec::new(),
             dirty: Vec::new(),
-            staged: Vec::new(),
-            hops: Vec::new(),
+            stage: ColumnStage::new(IPV4_COLUMNS),
             lookups: 0,
             malformed: 0,
         }
@@ -106,12 +105,20 @@ impl App for Ipv4App {
         "ipv4"
     }
 
+    fn set_staging(&mut self, mode: Staging) {
+        self.stage.set_mode(mode);
+    }
+
+    fn staging_totals(&self) -> Option<(u64, u64, u64)> {
+        Some(self.stage.totals())
+    }
+
     fn setup_gpu(&mut self, node: usize, eng: &mut GpuEngine) {
         self.ensure_node(node);
         let table = eng.dev.mem.alloc(self.table.image().len());
         eng.dev.mem.write(&table, 0, self.table.image());
-        let input = eng.dev.mem.alloc(MAX_GATHER * 4);
-        let output = eng.dev.mem.alloc(MAX_GATHER * 2);
+        let input = self.stage.alloc_input(eng, MAX_GATHER);
+        let output = self.stage.alloc_output(eng, MAX_GATHER);
         self.gpu[node] = Some(NodeGpu {
             table,
             input,
@@ -179,11 +186,11 @@ impl App for Ipv4App {
             ready = eng.copy_h2d(ready, ioh, &table, 0, self.table.image());
             self.dirty[node] = false;
         }
-        // Stage destination addresses (pre-shading built this array;
-        // the copy models the host->device transfer of it). The
-        // staging buffers are reused across launches.
-        let mut staged = std::mem::take(&mut self.staged);
-        staged.clear();
+        // Gather the destination-address column (pre-shading built
+        // this array; the stage models its host->device transfer
+        // under the active staging mode). Buffers are reused across
+        // launches.
+        let staged = self.stage.begin();
         // Indices whose frames failed to re-parse (a sentinel address
         // is staged so the batch layout stays fixed). Empty — and
         // allocation-free — for healthy traffic.
@@ -197,19 +204,17 @@ impl App for Ipv4App {
                 }
             }
         }
-        let h2d = eng.copy_h2d(ready, ioh, &input, 0, &staged);
+        let h2d = self.stage.upload(eng, ioh, ready, &input, &pkts[..n]);
         let kernel = Ipv4Kernel {
             table,
             layout: self.table.layout(),
             input,
+            slots: self.stage.slots(),
             output,
             n: n as u32,
         };
         let (kdone, _) = eng.launch(h2d, &kernel, n as u32);
-        let mut hops = std::mem::take(&mut self.hops);
-        hops.clear();
-        hops.resize(n * 2, 0);
-        let done = eng.copy_d2h(ready, kdone, ioh, &output, 0, &mut hops);
+        let (done, hops) = self.stage.download(eng, ioh, ready, kdone, &output, n);
         for (i, p) in pkts[..n].iter_mut().enumerate() {
             let hop = u16::from_le_bytes([hops[i * 2], hops[i * 2 + 1]]);
             self.lookups += 1;
@@ -218,8 +223,6 @@ impl App for Ipv4App {
         for &i in &bad {
             pkts[i].out_port = None;
         }
-        self.staged = staged;
-        self.hops = hops;
         done
     }
 }

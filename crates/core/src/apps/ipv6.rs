@@ -1,7 +1,7 @@
 //! IPv6 forwarding (§6.2.2): binary search on prefix lengths, the
 //! memory-intensive workload where GPU latency hiding shines.
 
-use ps_gpu::{DeviceBuffer, GpuEngine};
+use ps_gpu::{DeviceBuffer, GpuEngine, Staging};
 use ps_hw::ioh::Ioh;
 use ps_io::Packet;
 use ps_lookup::mem::{CountingMem, SliceMem};
@@ -16,6 +16,7 @@ use ps_sim::time::Time;
 
 use super::{CYCLES_PER_NS, ROUTER_LOOKUP_OVERLAP, TABLE_MISS_NS};
 use crate::app::{App, PreShadeResult};
+use crate::columns::{ColumnStage, IPV6_COLUMNS};
 use crate::kernels::Ipv6Kernel;
 
 /// Per-packet pre-shading cycles (IPv6 parses a bigger header and
@@ -35,11 +36,10 @@ struct NodeGpu {
 pub struct Ipv6App {
     table: V6Table,
     gpu: Vec<Option<NodeGpu>>,
-    /// Reused gather staging (destination addresses), zero-alloc in
-    /// steady state.
-    staged: Vec<u8>,
-    /// Reused scatter buffer (next hops).
-    hops: Vec<u8>,
+    /// The destination-address column stage: gather/scatter buffers
+    /// (zero-alloc in steady state), mode-dependent transfer and PCIe
+    /// byte accounting.
+    stage: ColumnStage,
     /// Lookups performed.
     pub lookups: u64,
     /// Frames whose bytes no longer parsed at lookup time (fault
@@ -54,8 +54,7 @@ impl Ipv6App {
         Ipv6App {
             table: V6Table::build(routes),
             gpu: Vec::new(),
-            staged: Vec::new(),
-            hops: Vec::new(),
+            stage: ColumnStage::new(IPV6_COLUMNS),
             lookups: 0,
             malformed: 0,
         }
@@ -86,12 +85,20 @@ impl App for Ipv6App {
         "ipv6"
     }
 
+    fn set_staging(&mut self, mode: Staging) {
+        self.stage.set_mode(mode);
+    }
+
+    fn staging_totals(&self) -> Option<(u64, u64, u64)> {
+        Some(self.stage.totals())
+    }
+
     fn setup_gpu(&mut self, node: usize, eng: &mut GpuEngine) {
         self.ensure_node(node);
         let table = eng.dev.mem.alloc(self.table.image().len().max(64));
         eng.dev.mem.write(&table, 0, self.table.image());
-        let input = eng.dev.mem.alloc(MAX_GATHER * 16);
-        let output = eng.dev.mem.alloc(MAX_GATHER * 2);
+        let input = self.stage.alloc_input(eng, MAX_GATHER);
+        let output = self.stage.alloc_output(eng, MAX_GATHER);
         self.gpu[node] = Some(NodeGpu {
             table,
             input,
@@ -152,9 +159,9 @@ impl App for Ipv6App {
         let n = pkts.len().min(MAX_GATHER);
         let g = self.gpu[node].as_ref().expect("setup_gpu ran");
         let (table, input, output) = (g.table, g.input, g.output);
-        // Reused staging buffers: zero-alloc in steady state.
-        let mut staged = std::mem::take(&mut self.staged);
-        staged.clear();
+        // Gather the destination-address column into the stage's
+        // reused buffer.
+        let staged = self.stage.begin();
         // Indices whose frames failed to re-parse (a sentinel address
         // is staged so the batch layout stays fixed). Empty — and
         // allocation-free — for healthy traffic.
@@ -168,19 +175,17 @@ impl App for Ipv6App {
                 }
             }
         }
-        let h2d = eng.copy_h2d(ready, ioh, &input, 0, &staged);
+        let h2d = self.stage.upload(eng, ioh, ready, &input, &pkts[..n]);
         let kernel = Ipv6Kernel {
             table,
             layout: self.table.layout().clone(),
             input,
+            slots: self.stage.slots(),
             output,
             n: n as u32,
         };
         let (kdone, _) = eng.launch(h2d, &kernel, n as u32);
-        let mut hops = std::mem::take(&mut self.hops);
-        hops.clear();
-        hops.resize(n * 2, 0);
-        let done = eng.copy_d2h(ready, kdone, ioh, &output, 0, &mut hops);
+        let (done, hops) = self.stage.download(eng, ioh, ready, kdone, &output, n);
         for (i, p) in pkts[..n].iter_mut().enumerate() {
             let hop = u16::from_le_bytes([hops[i * 2], hops[i * 2 + 1]]);
             self.lookups += 1;
@@ -189,8 +194,6 @@ impl App for Ipv6App {
         for &i in &bad {
             pkts[i].out_port = None;
         }
-        self.staged = staged;
-        self.hops = hops;
         done
     }
 }

@@ -16,7 +16,7 @@
 //! (DESIGN.md §10.3).
 
 use ps_flow::{FlowCache, FlowCacheStats};
-use ps_gpu::{DeviceBuffer, GpuEngine};
+use ps_gpu::{DeviceBuffer, GpuEngine, Staging};
 use ps_hw::ioh::Ioh;
 use ps_io::Packet;
 use ps_net::tcp::TcpFlags;
@@ -24,8 +24,9 @@ use ps_net::{classify, Verdict};
 use ps_nic::port::PortId;
 use ps_sim::time::Time;
 
-use super::stateful::{parse_flow, rewrite_src, stage_keys, KEY_STRIDE};
+use super::stateful::{parse_flow, rewrite_src, stage_keys};
 use crate::app::{App, PreShadeResult, ShardAffinity};
+use crate::columns::{ColumnStage, FLOW_COLUMNS};
 use crate::kernels::FlowHashKernel;
 
 /// Per-packet pre-shading cycles: classification + 5-tuple parse.
@@ -120,8 +121,9 @@ pub struct NatApp {
     capacity: usize,
     idle_ns: Time,
     gpu: Vec<Option<NodeGpu>>,
-    staged: Vec<u8>,
-    out: Vec<u8>,
+    /// The 5-tuple column stage: gather/scatter buffers, mode-
+    /// dependent transfer and PCIe byte accounting.
+    stage: ColumnStage,
     /// Frames that no longer parsed at translation time (fault
     /// injection can damage them mid-pipeline); counted drops.
     pub malformed: u64,
@@ -145,8 +147,7 @@ impl NatApp {
             capacity,
             idle_ns,
             gpu: Vec::new(),
-            staged: Vec::new(),
-            out: Vec::new(),
+            stage: ColumnStage::new(FLOW_COLUMNS),
             malformed: 0,
             state_losses: 0,
         }
@@ -245,12 +246,20 @@ impl App for NatApp {
         "nat"
     }
 
+    fn set_staging(&mut self, mode: Staging) {
+        self.stage.set_mode(mode);
+    }
+
+    fn staging_totals(&self) -> Option<(u64, u64, u64)> {
+        Some(self.stage.totals())
+    }
+
     fn setup_gpu(&mut self, node: usize, eng: &mut GpuEngine) {
         if self.gpu.len() <= node {
             self.gpu.resize_with(node + 1, || None);
         }
-        let input = eng.dev.mem.alloc(MAX_GATHER * KEY_STRIDE);
-        let output = eng.dev.mem.alloc(MAX_GATHER * 8);
+        let input = self.stage.alloc_input(eng, MAX_GATHER);
+        let output = self.stage.alloc_output(eng, MAX_GATHER);
         self.gpu[node] = Some(NodeGpu { input, output });
     }
 
@@ -297,19 +306,18 @@ impl App for NatApp {
         let n = pkts.len().min(MAX_GATHER);
         let g = self.gpu[node].as_ref().expect("setup_gpu ran");
         let (input, output) = (g.input, g.output);
-        let mut staged = std::mem::take(&mut self.staged);
-        stage_keys(&mut self.malformed, &pkts[..n], &mut staged);
-        let h2d = eng.copy_h2d(ready, ioh, &input, 0, &staged);
+        let slots = self.stage.slots();
+        stage_keys(&mut self.malformed, &pkts[..n], self.stage.begin());
+        let h2d = self.stage.upload(eng, ioh, ready, &input, &pkts[..n]);
         let kernel = FlowHashKernel {
             input,
+            slots,
             output,
             n: n as u32,
         };
         let (kdone, _) = eng.launch(h2d, &kernel, n as u32);
-        let mut out = std::mem::take(&mut self.out);
-        out.clear();
-        out.resize(n * 8, 0);
-        let done = eng.copy_d2h(ready, kdone, ioh, &output, 0, &mut out);
+        let (done, _) = self.stage.download(eng, ioh, ready, kdone, &output, n);
+        let out = self.stage.take_out();
 
         // Host-side table application in arrival order, with the
         // device-computed hashes (functional post-shading).
@@ -317,8 +325,7 @@ impl App for NatApp {
             let hash = u64::from_le_bytes(out[i * 8..i * 8 + 8].try_into().expect("fixed"));
             self.translate(p, hash);
         }
-        self.staged = staged;
-        self.out = out;
+        self.stage.give_out(out);
 
         let st = self.per_node[node].cache.stats();
         let occ = self.per_node[node].cache.occupancy() as u64;

@@ -2,7 +2,7 @@
 //! exact matching on the CPU; hash computation and wildcard matching
 //! offloaded to the GPU.
 
-use ps_gpu::{DeviceBuffer, GpuEngine};
+use ps_gpu::{DeviceBuffer, GpuEngine, Staging};
 use ps_hw::ioh::Ioh;
 use ps_io::Packet;
 use ps_net::FlowKey;
@@ -12,6 +12,7 @@ use ps_sim::time::Time;
 
 use super::{CYCLES_PER_NS, TABLE_MISS_NS};
 use crate::app::{App, PreShadeResult};
+use crate::columns::{ColumnStage, OPENFLOW_COLUMNS};
 use crate::kernels::{OpenFlowKernel, OF_NO_MATCH};
 
 /// Flow-key extraction cycles per packet (header parsing + field
@@ -48,11 +49,10 @@ pub struct OpenFlowApp {
     /// The switch state (public so experiments can install flows).
     pub switch: OpenFlowSwitch,
     gpu: Vec<Option<NodeGpu>>,
-    /// Reused gather staging (packed flow keys), zero-alloc in steady
-    /// state.
-    staged: Vec<u8>,
-    /// Reused scatter buffer (hash + action + scan count).
-    out: Vec<u8>,
+    /// The flow-key column stage: gather/scatter buffers (zero-alloc
+    /// in steady state), mode-dependent transfer and PCIe byte
+    /// accounting.
+    stage: ColumnStage,
     /// Frames whose flow key no longer extracted at lookup time
     /// (fault injection can damage a frame after classification);
     /// each is a counted drop, never a panic.
@@ -65,8 +65,7 @@ impl OpenFlowApp {
         OpenFlowApp {
             switch,
             gpu: Vec::new(),
-            staged: Vec::new(),
-            out: Vec::new(),
+            stage: ColumnStage::new(OPENFLOW_COLUMNS),
             malformed: 0,
         }
     }
@@ -78,7 +77,7 @@ impl OpenFlowApp {
         EXACT_PROBE_CYCLES + (miss_frac * TABLE_MISS_NS as f64 * CYCLES_PER_NS) as u64
     }
 
-    fn apply(&mut self, p: &mut Packet, action: Action) {
+    fn apply(p: &mut Packet, action: Action) {
         match action {
             Action::Output(port) => p.out_port = Some(PortId(port)),
             Action::Drop | Action::Controller => p.out_port = None,
@@ -91,6 +90,14 @@ impl App for OpenFlowApp {
         "openflow"
     }
 
+    fn set_staging(&mut self, mode: Staging) {
+        self.stage.set_mode(mode);
+    }
+
+    fn staging_totals(&self) -> Option<(u64, u64, u64)> {
+        Some(self.stage.totals())
+    }
+
     fn setup_gpu(&mut self, node: usize, eng: &mut GpuEngine) {
         if self.gpu.len() <= node {
             self.gpu.resize_with(node + 1, || None);
@@ -100,8 +107,8 @@ impl App for OpenFlowApp {
         eng.dev.mem.write(&wildcard, 0, &image);
         let shared_image =
             (image.len() <= crate::kernels::OF_SHARED_LIMIT).then(|| std::sync::Arc::new(image));
-        let input = eng.dev.mem.alloc(MAX_GATHER * 32);
-        let output = eng.dev.mem.alloc(MAX_GATHER * 8);
+        let input = self.stage.alloc_input(eng, MAX_GATHER);
+        let output = self.stage.alloc_output(eng, MAX_GATHER);
         self.gpu[node] = Some(NodeGpu {
             wildcard,
             n_wildcard: self.switch.wildcard.len(),
@@ -139,7 +146,7 @@ impl App for OpenFlowApp {
             };
             let r = self.switch.lookup(&key, p.len() as u64);
             cycles += HASH_CYCLES + probe + WILDCARD_ENTRY_CYCLES * r.wildcard_scanned as u64;
-            self.apply(p, r.action);
+            Self::apply(p, r.action);
         }
         pkts.retain(|p| p.out_port.is_some());
         cycles
@@ -157,9 +164,8 @@ impl App for OpenFlowApp {
         let g = self.gpu[node].as_ref().expect("setup_gpu ran");
         let (wildcard, n_wildcard, input, output) = (g.wildcard, g.n_wildcard, g.input, g.output);
         let shared_image = g.shared_image.clone();
-        // Reused staging buffers: zero-alloc in steady state.
-        let mut staged = std::mem::take(&mut self.staged);
-        staged.clear();
+        // Gather the flow-key column into the stage's reused buffer.
+        let staged = self.stage.begin();
         staged.resize(n * 32, 0);
         for (i, p) in pkts[..n].iter().enumerate() {
             // A malformed frame stages an all-zero key (the result is
@@ -169,20 +175,19 @@ impl App for OpenFlowApp {
                 staged[i * 32..i * 32 + 31].copy_from_slice(&key.to_bytes());
             }
         }
-        let h2d = eng.copy_h2d(ready, ioh, &input, 0, &staged);
+        let h2d = self.stage.upload(eng, ioh, ready, &input, &pkts[..n]);
         let kernel = OpenFlowKernel {
             wildcard,
             n_wildcard,
             shared_image,
             input,
+            slots: self.stage.slots(),
             output,
             n: n as u32,
         };
         let (kdone, _) = eng.launch(h2d, &kernel, n as u32);
-        let mut out = std::mem::take(&mut self.out);
-        out.clear();
-        out.resize(n * 8, 0);
-        let done = eng.copy_d2h(ready, kdone, ioh, &output, 0, &mut out);
+        let (done, _) = self.stage.download(eng, ioh, ready, kdone, &output, n);
+        let out = self.stage.take_out();
 
         // Result application: exact-match resolution with the
         // GPU-computed hash; wildcard action as fallback (functional
@@ -207,10 +212,9 @@ impl App for OpenFlowApp {
                     Action::Controller
                 }
             };
-            self.apply(p, action);
+            Self::apply(p, action);
         }
-        self.staged = staged;
-        self.out = out;
+        self.stage.give_out(out);
         done
     }
 

@@ -1,6 +1,7 @@
 //! Router configuration: the knobs the evaluation sweeps.
 
 use ps_fault::FaultSpec;
+use ps_gpu::Staging;
 use ps_hw::spec::Testbed;
 use ps_io::IoConfig;
 
@@ -45,6 +46,10 @@ pub struct RouterConfig {
     /// Device memory to allocate per simulated GPU (bytes). Sized to
     /// the workload to keep host memory use reasonable.
     pub gpu_mem_bytes: usize,
+    /// How kernel input columns reach device memory (SoA gather by
+    /// default; `Frames`/`DirectDma` are ablation modes, §4.3.1 and
+    /// the NaNet-style direct path).
+    pub staging: Staging,
     /// Fault injection: all-zero chances (the default) arm no plan
     /// and leave the pipeline byte-identical to the fault-free seed.
     pub faults: FaultSpec,
@@ -67,6 +72,7 @@ impl RouterConfig {
             opportunistic: false,
             opportunistic_threshold: 16,
             gpu_mem_bytes: 128 << 20,
+            staging: Staging::Soa,
             faults: FaultSpec::none(),
         }
     }

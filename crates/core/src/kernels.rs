@@ -8,7 +8,7 @@
 
 use ps_crypto::aes::{ctr_counter_block, Aes128};
 use ps_crypto::hmac::HmacSha1;
-use ps_gpu::{DeviceBuffer, Kernel, ThreadCtx};
+use ps_gpu::{DeviceBuffer, Kernel, Slots, ThreadCtx};
 use ps_lookup::dir24::Dir24Layout;
 use ps_lookup::mem::TableMem;
 use ps_lookup::waldvogel::V6Layout;
@@ -48,8 +48,11 @@ pub struct Ipv4Kernel {
     pub table: DeviceBuffer,
     /// Image layout.
     pub layout: Dir24Layout,
-    /// Input: packed u32 destination addresses.
+    /// Input: u32 destination addresses, addressed per [`Slots`]
+    /// (packed column or frame-resident, per the staging mode).
     pub input: DeviceBuffer,
+    /// Where thread `tid` finds its destination address in `input`.
+    pub slots: Slots,
     /// Output: packed u16 next hops.
     pub output: DeviceBuffer,
     /// Valid packets.
@@ -65,7 +68,7 @@ impl Kernel for Ipv4Kernel {
         if tid >= self.n {
             return;
         }
-        let addr = ctx.read_u32(&self.input, tid as usize * 4);
+        let addr = ctx.read_u32(&self.input, self.slots.at(tid));
         ctx.alu(20); // index arithmetic + branch
         let hop = {
             let mut mem = CtxMem::new(ctx, self.table);
@@ -85,8 +88,10 @@ pub struct Ipv6Kernel {
     pub table: DeviceBuffer,
     /// Level directory (kernel parameters, not device memory).
     pub layout: V6Layout,
-    /// Input: packed 16 B destination addresses.
+    /// Input: 16 B destination addresses, addressed per [`Slots`].
     pub input: DeviceBuffer,
+    /// Where thread `tid` finds its destination address in `input`.
+    pub slots: Slots,
     /// Output: packed u16 next hops.
     pub output: DeviceBuffer,
     /// Valid packets.
@@ -102,7 +107,7 @@ impl Kernel for Ipv6Kernel {
         if tid >= self.n {
             return;
         }
-        let raw: [u8; 16] = ctx.read(&self.input, tid as usize * 16);
+        let raw: [u8; 16] = self.slots.read(ctx, &self.input, tid);
         let addr = u128::from_be_bytes(raw);
         // Hashing at each probe level: ~16 ALU ops per FNV over the
         // masked key, 7 levels.
@@ -128,8 +133,11 @@ pub struct OpenFlowKernel {
     /// traffic; this holds the staged copy. `None` = scan global
     /// memory (large tables).
     pub shared_image: Option<std::sync::Arc<Vec<u8>>>,
-    /// Input: packed 32 B flow keys (31 B canonical + pad).
+    /// Input: 32 B flow keys (31 B canonical + pad), addressed per
+    /// [`Slots`].
     pub input: DeviceBuffer,
+    /// Where thread `tid` finds its flow key in `input`.
+    pub slots: Slots,
     /// Output per packet: `hash:u32 action:u16 scanned:u16`.
     pub output: DeviceBuffer,
     /// Valid packets.
@@ -152,7 +160,7 @@ impl Kernel for OpenFlowKernel {
         if tid >= self.n {
             return;
         }
-        let raw: [u8; 32] = ctx.read(&self.input, tid as usize * 32);
+        let raw: [u8; 32] = self.slots.read(ctx, &self.input, tid);
         // FNV-1a over 31 bytes: ~2 ops/byte.
         ctx.alu(62);
         let mut h: u32 = 0x811c_9dc5;
@@ -206,8 +214,11 @@ pub fn flow_key_from_bytes(b: &[u8; 32]) -> FlowKey {
 /// stateful table operations in arrival order with the hash
 /// precomputed — the same split as OpenFlow's hash offload (§6.2.3).
 pub struct FlowHashKernel {
-    /// Input: packed 16 B key slots (13 canonical tuple bytes + pad).
+    /// Input: 16 B key slots (13 canonical tuple bytes + pad),
+    /// addressed per [`Slots`].
     pub input: DeviceBuffer,
+    /// Where thread `tid` finds its key slot in `input`.
+    pub slots: Slots,
     /// Output: packed u64 hashes.
     pub output: DeviceBuffer,
     /// Valid packets.
@@ -223,7 +234,7 @@ impl Kernel for FlowHashKernel {
         if tid >= self.n {
             return;
         }
-        let raw: [u8; 16] = ctx.read(&self.input, tid as usize * 16);
+        let raw: [u8; 16] = self.slots.read(ctx, &self.input, tid);
         // Two splitmix64 rounds over the packed words: ~24 ALU ops.
         ctx.alu(24);
         let key: [u8; 13] = raw[..13].try_into().expect("fixed");
@@ -378,6 +389,7 @@ mod tests {
             table: tbuf,
             layout: table.layout(),
             input,
+            slots: Slots::packed(4),
             output,
             n: 4,
         };

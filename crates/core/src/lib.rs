@@ -28,11 +28,14 @@
 pub mod app;
 pub mod apps;
 pub mod chunk;
+pub mod columns;
 pub mod config;
 pub mod kernels;
 pub mod router;
 
 pub use app::{App, PreShadeResult, ShardAffinity};
 pub use chunk::Chunk;
+pub use columns::{ColumnSet, ColumnSpec, ColumnStage};
 pub use config::{Mode, RouterConfig};
+pub use ps_gpu::Staging;
 pub use router::{Router, RouterReport};

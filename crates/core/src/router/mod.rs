@@ -106,6 +106,7 @@ impl<A: App> Router<A> {
             spec.ports, cfg.ports,
             "traffic spec and router must agree on port count"
         );
+        app.set_staging(cfg.staging);
         let nodes = (0..cfg.nodes)
             .map(|node| NodeShard::new(&cfg, node, &mut app))
             .collect();

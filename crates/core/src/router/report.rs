@@ -35,6 +35,11 @@ pub struct RouterReport {
     pub drop_split: (u64, u64),
     /// Fault-injection ledger (all zero when no plan was armed).
     pub faults: FaultStats,
+    /// Cumulative column-staging PCIe traffic `(h2d_bytes, d2h_bytes,
+    /// staged_packets)` from [`crate::app::App::staging_totals`], or
+    /// [`None`] for apps without a column stage (IPsec, CPU-only runs
+    /// still report the gather bytes they *would* have moved as 0).
+    pub staging: Option<(u64, u64, u64)>,
 }
 
 impl RouterReport {
@@ -57,6 +62,23 @@ impl RouterReport {
     pub fn out_gbps_input_sized(&self, input_frame_len: usize) -> f64 {
         let bits = self.delivered.packets * (ps_net::wire_len(input_frame_len) as u64) * 8;
         ps_sim::time::rate_per_sec(bits, self.window) / 1e9
+    }
+
+    /// Host→device staging bytes per staged packet, or [`None`] when
+    /// the app has no column stage or staged nothing.
+    pub fn h2d_bytes_per_pkt(&self) -> Option<f64> {
+        match self.staging {
+            Some((h2d, _, pkts)) if pkts > 0 => Some(h2d as f64 / pkts as f64),
+            _ => None,
+        }
+    }
+
+    /// Device→host staging bytes per staged packet.
+    pub fn d2h_bytes_per_pkt(&self) -> Option<f64> {
+        match self.staging {
+            Some((_, d2h, pkts)) if pkts > 0 => Some(d2h as f64 / pkts as f64),
+            _ => None,
+        }
     }
 
     /// Delivered fraction.

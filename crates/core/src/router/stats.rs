@@ -85,6 +85,7 @@ impl<A: App> Router<A> {
                 Some(p) => p.stats.clone(),
                 None => FaultStats::default(),
             },
+            staging: self.app.staging_totals(),
         }
     }
 }
@@ -112,6 +113,7 @@ pub(crate) fn merged_report<A: App>(shards: &[Router<A>], window: Time) -> Route
     let nodes = shards.first().map_or(0, |s| s.nodes.len());
     let mut d2h = vec![0.0f64; nodes];
     let mut h2d = vec![0.0f64; nodes];
+    let mut staging: Option<(u64, u64, u64)> = None;
     for s in shards {
         offered.merge(&s.stats.offered);
         delivered.merge(&s.sink.delivered);
@@ -143,6 +145,10 @@ pub(crate) fn merged_report<A: App>(shards: &[Router<A>], window: Time) -> Route
             d2h[i] += n.ioh.d2h_bytes() as f64 * 8.0 / window as f64;
             h2d[i] += n.ioh.h2d_bytes() as f64 * 8.0 / window as f64;
         }
+        if let Some((sh, sd, sp)) = s.app.staging_totals() {
+            let (h, d, p) = staging.unwrap_or((0, 0, 0));
+            staging = Some((h + sh, d + sd, p + sp));
+        }
     }
     RouterReport {
         window,
@@ -159,5 +165,6 @@ pub(crate) fn merged_report<A: App>(shards: &[Router<A>], window: Time) -> Route
         ioh_h2d_gbit: h2d,
         drop_split: (nic_drops, ring_drops),
         faults: FaultStats::default(),
+        staging,
     }
 }

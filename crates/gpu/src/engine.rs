@@ -16,6 +16,8 @@
 //! packet I/O — the coupling §6.3 blames for IPv4's 39 Gbps being
 //! "slightly lower than 41 Gbps of minimal forwarding".
 
+use std::collections::VecDeque;
+
 use ps_hw::ioh::{Direction, Ioh};
 use ps_hw::pcie::{CopyDir, PcieModel};
 use ps_sim::time::Time;
@@ -50,6 +52,11 @@ pub struct GpuEngine {
     /// Trace lane for this device's `gpu`-category spans (set to the
     /// NUMA node index by the router; engine 0 by default).
     pub trace_lane: u32,
+    /// Completion times of in-flight uploads, oldest first — drained
+    /// against each new copy's start to report `queue_depth`.
+    h2d_inflight: VecDeque<Time>,
+    /// Completion times of in-flight downloads, oldest first.
+    d2h_inflight: VecDeque<Time>,
     /// Reusable per-launch warp scratch: allocated to its high-water
     /// mark by the first launches, then recycled so steady-state
     /// launches are allocation-free.
@@ -70,6 +77,8 @@ impl GpuEngine {
             kernels_launched: 0,
             kernel_busy: 0,
             trace_lane: 0,
+            h2d_inflight: VecDeque::new(),
+            d2h_inflight: VecDeque::new(),
             scratch: WarpAccumulator::default(),
         }
     }
@@ -100,6 +109,24 @@ impl GpuEngine {
     ) -> Time {
         self.dev.mem.write(buf, off, data);
         self.copy(ready, ready, ioh, CopyDir::HostToDevice, data.len() as u64)
+    }
+
+    /// Materialize `data` in device memory at `buf[off..]` with *no*
+    /// modeled transfer cost. Used by staging modes whose bytes do not
+    /// cross host PCIe as a gather copy: the frame-staging ablation
+    /// deposits per-packet fields and charges the frame bytes once via
+    /// [`GpuEngine::charge_h2d`], and the direct-DMA ablation's
+    /// columns arrived with NIC RX DMA (costed by the NIC model).
+    pub fn deposit(&mut self, buf: &DeviceBuffer, off: usize, data: &[u8]) {
+        self.dev.mem.write(buf, off, data);
+    }
+
+    /// Charge a host→device copy of `bytes` (copy engine, PCIe link,
+    /// IOH capacity) without writing device memory — the cost half of
+    /// a transfer whose functional half went through
+    /// [`GpuEngine::deposit`]. Returns the completion time.
+    pub fn charge_h2d(&mut self, ready: Time, ioh: &mut Ioh, bytes: u64) -> Time {
+        self.copy(ready, ready, ioh, CopyDir::HostToDevice, bytes)
     }
 
     /// Copy device memory at `buf[off..]` out to `dst`, starting no
@@ -159,6 +186,18 @@ impl GpuEngine {
         if !self.concurrent_copy {
             self.serial_free = done;
         }
+        // Copies of this direction still in flight when this one
+        // starts. Measured at `start` (not `submit_at`) so serial-mode
+        // depth is honest: the engine drained everything before us.
+        let inflight = match dir {
+            CopyDir::HostToDevice => &mut self.h2d_inflight,
+            CopyDir::DeviceToHost => &mut self.d2h_inflight,
+        };
+        while inflight.front().is_some_and(|&d| d <= start) {
+            inflight.pop_front();
+        }
+        let queue_depth = inflight.len() as u64;
+        inflight.push_back(done);
         ps_trace::complete(
             ps_trace::Category::Gpu,
             match dir {
@@ -168,7 +207,18 @@ impl GpuEngine {
             self.trace_lane,
             start,
             done,
-            || vec![("bytes", bytes), ("wait", start - ready)],
+            // `submit` is the CPU-side queueing time, `wait` the delay
+            // from data-ready to engine start — emitted for both
+            // directions so a d2h queued before its kernel finished
+            // (`submit_at < ready`) is no longer misread as waiting.
+            || {
+                vec![
+                    ("bytes", bytes),
+                    ("submit", submit_at),
+                    ("wait", start - ready.max(submit_at).min(start)),
+                    ("queue_depth", queue_depth),
+                ]
+            },
         );
         done
     }

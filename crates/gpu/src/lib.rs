@@ -29,9 +29,11 @@
 pub mod device;
 pub mod engine;
 pub mod kernel;
+pub mod staging;
 pub mod timing;
 
 pub use device::{DeviceBuffer, DeviceMemory, GpuDevice};
 pub use engine::GpuEngine;
 pub use kernel::{Kernel, LaunchStats, ThreadCtx};
+pub use staging::{Slots, Staging};
 pub use timing::KernelCost;

@@ -33,6 +33,11 @@ pub struct Ioh {
     d2h: BandwidthServer,
     h2d: BandwidthServer,
     combined: BandwidthServer,
+    /// Bytes that crossed this hub exactly once as NIC→GPU peer
+    /// transfers (direct-DMA staging) — already charged by the NIC RX
+    /// DMA, so no server is touched here; kept as a ledger so reports
+    /// can show what the host staging path *didn't* move.
+    direct_bytes: u64,
 }
 
 impl Ioh {
@@ -42,6 +47,7 @@ impl Ioh {
             d2h: BandwidthServer::new(spec.d2h_bits, spec.per_dma_overhead_ns),
             h2d: BandwidthServer::new(spec.h2d_bits, spec.per_dma_overhead_ns),
             combined: BandwidthServer::new(spec.combined_bits, 0),
+            direct_bytes: 0,
         }
     }
 
@@ -117,6 +123,18 @@ impl Ioh {
     /// Bytes moved host→device so far.
     pub fn h2d_bytes(&self) -> u64 {
         self.h2d.bytes_served()
+    }
+
+    /// Record `bytes` delivered NIC→GPU without a host staging copy.
+    /// The RX DMA already paid the single IOH traversal via
+    /// [`Ioh::dma`]; this only keeps the ledger.
+    pub fn note_direct(&mut self, bytes: u64) {
+        self.direct_bytes += bytes;
+    }
+
+    /// Bytes that took the NIC→GPU direct path so far.
+    pub fn direct_bytes(&self) -> u64 {
+        self.direct_bytes
     }
 }
 

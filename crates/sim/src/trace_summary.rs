@@ -48,6 +48,35 @@ pub struct GaugeStat {
     pub mean: f64,
 }
 
+/// Per-kernel PCIe staging traffic, reduced from the cumulative
+/// `pcie_h2d.*` / `pcie_d2h.*` / `pcie_pkts.*` counters the column
+/// stage emits after every launch (`ps-core`'s `ColumnStage`). The
+/// counters are monotone, so the per-run total is the largest sample
+/// across lanes summed over lanes.
+#[derive(Debug, Clone, Default)]
+pub struct PcieStat {
+    /// Kernel name (the counter suffix, e.g. `"ipv4-dir24"`).
+    pub kernel: String,
+    /// Packets staged through the column layer.
+    pub pkts: u64,
+    /// Host→device staging bytes.
+    pub h2d_bytes: u64,
+    /// Device→host result bytes.
+    pub d2h_bytes: u64,
+}
+
+impl PcieStat {
+    /// Host→device bytes per staged packet.
+    pub fn h2d_per_pkt(&self) -> f64 {
+        self.h2d_bytes as f64 / self.pkts.max(1) as f64
+    }
+
+    /// Device→host bytes per staged packet.
+    pub fn d2h_per_pkt(&self) -> f64 {
+        self.d2h_bytes as f64 / self.pkts.max(1) as f64
+    }
+}
+
 /// Busy accounting for one labelled fabric resource instance.
 #[derive(Debug, Clone)]
 pub struct ResourceStat {
@@ -75,7 +104,11 @@ pub struct TraceSummary {
     /// Per-stage latency statistics, sorted by category then name.
     pub stages: Vec<StageStat>,
     /// Queue-depth (and other) gauges, sorted by category then name.
+    /// `pcie_*` staging counters are factored out into
+    /// [`TraceSummary::pcie`] instead of appearing here.
     pub gauges: Vec<GaugeStat>,
+    /// Per-kernel PCIe staging traffic, sorted by kernel name.
+    pub pcie: Vec<PcieStat>,
     /// Per-resource utilization, sorted by name then lane.
     pub resources: Vec<ResourceStat>,
 }
@@ -86,6 +119,9 @@ pub fn summarize(events: &[Event], window: Time) -> TraceSummary {
     let mut stages: BTreeMap<(&'static str, &'static str), StageStat> = BTreeMap::new();
     let mut gauges: BTreeMap<(&'static str, &'static str), (GaugeStat, u128)> = BTreeMap::new();
     let mut resources: BTreeMap<(&'static str, u32), ResourceStat> = BTreeMap::new();
+    // Cumulative pcie_* counters: per-(name, lane) running max, so the
+    // run total is the lane maxima summed over lanes.
+    let mut pcie_max: BTreeMap<(&'static str, u32), u64> = BTreeMap::new();
     for ev in events {
         match ev.phase {
             Phase::Complete { dur } => {
@@ -122,6 +158,11 @@ pub fn summarize(events: &[Event], window: Time) -> TraceSummary {
                 }
             }
             Phase::Counter { value } => {
+                if ev.name.starts_with("pcie_") {
+                    let m = pcie_max.entry((ev.name, ev.lane)).or_insert(0);
+                    *m = (*m).max(value);
+                    continue;
+                }
                 let (g, sum) = gauges.entry((ev.cat.name(), ev.name)).or_insert_with(|| {
                     (
                         GaugeStat {
@@ -143,6 +184,22 @@ pub fn summarize(events: &[Event], window: Time) -> TraceSummary {
             _ => {}
         }
     }
+    let mut pcie: BTreeMap<&'static str, PcieStat> = BTreeMap::new();
+    for (&(name, _lane), &total) in &pcie_max {
+        let Some((field, kernel)) = name.split_once('.') else {
+            continue;
+        };
+        let s = pcie.entry(kernel).or_insert_with(|| PcieStat {
+            kernel: kernel.to_string(),
+            ..PcieStat::default()
+        });
+        match field {
+            "pcie_h2d" => s.h2d_bytes += total,
+            "pcie_d2h" => s.d2h_bytes += total,
+            "pcie_pkts" => s.pkts += total,
+            _ => {}
+        }
+    }
     let window_f = window.max(1) as f64;
     TraceSummary {
         window,
@@ -154,6 +211,7 @@ pub fn summarize(events: &[Event], window: Time) -> TraceSummary {
                 g
             })
             .collect(),
+        pcie: pcie.into_values().collect(),
         resources: resources
             .into_values()
             .map(|mut r| {
@@ -217,6 +275,25 @@ impl TraceSummary {
                 );
             }
         }
+        if !self.pcie.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>10} {:>10} {:>9} {:>10} {:>9}",
+                "pcie staging", "pkts", "h2d_mb", "h2d_b/pkt", "d2h_mb", "d2h_b/pkt"
+            );
+            for p in &self.pcie {
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:>10} {:>10.2} {:>9.1} {:>10.2} {:>9.1}",
+                    p.kernel,
+                    p.pkts,
+                    p.h2d_bytes as f64 / 1e6,
+                    p.h2d_per_pkt(),
+                    p.d2h_bytes as f64 / 1e6,
+                    p.d2h_per_pkt()
+                );
+            }
+        }
         if !self.resources.is_empty() {
             let _ = writeln!(
                 out,
@@ -259,6 +336,13 @@ mod tests {
         );
         c.counter(Category::Io, "ring_depth", 0, 0, 10);
         c.counter(Category::Io, "ring_depth", 0, 100, 30);
+        // Cumulative staging counters on two lanes (NUMA nodes).
+        c.counter(Category::Gpu, "pcie_h2d.ipv4-dir24", 0, 10, 400);
+        c.counter(Category::Gpu, "pcie_h2d.ipv4-dir24", 0, 20, 1_000);
+        c.counter(Category::Gpu, "pcie_h2d.ipv4-dir24", 1, 20, 600);
+        c.counter(Category::Gpu, "pcie_d2h.ipv4-dir24", 0, 20, 500);
+        c.counter(Category::Gpu, "pcie_pkts.ipv4-dir24", 0, 20, 250);
+        c.counter(Category::Gpu, "pcie_pkts.ipv4-dir24", 1, 20, 150);
         c
     }
 
@@ -288,11 +372,26 @@ mod tests {
     }
 
     #[test]
+    fn pcie_counters_reduce_to_lane_summed_maxima() {
+        let s = summarize_collector(&collector_with_sample(), 10_000);
+        let p = s.pcie.iter().find(|p| p.kernel == "ipv4-dir24").unwrap();
+        // Cumulative per lane: lane 0 peaks at 1000, lane 1 at 600.
+        assert_eq!(p.h2d_bytes, 1_600);
+        assert_eq!(p.d2h_bytes, 500);
+        assert_eq!(p.pkts, 400);
+        assert!((p.h2d_per_pkt() - 4.0).abs() < 1e-9);
+        // Staging counters stay out of the generic gauge table.
+        assert!(s.gauges.iter().all(|g| !g.name.starts_with("pcie_")));
+    }
+
+    #[test]
     fn render_contains_every_section() {
         let s = summarize_collector(&collector_with_sample(), 10_000);
         let text = s.render();
         assert!(text.contains("pre_shade"));
         assert!(text.contains("ring_depth"));
         assert!(text.contains("ioh.d2h"));
+        assert!(text.contains("pcie staging"));
+        assert!(text.contains("ipv4-dir24"));
     }
 }
