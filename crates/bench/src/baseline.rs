@@ -28,7 +28,11 @@
 //! drift; see [`scaling_verdicts`].
 //! Virtual-time results are deterministic per seed, so the `pkts`
 //! column is byte-stable across builds and ns/pkt ratios compare
-//! apples to apples.
+//! apples to apples. Two row families reuse the grid to gate
+//! *virtual-time* quantities instead of wall clock: `bytes-h2d/*`
+//! (staging bytes per packet) and `latency-p99/*` (p99 RX→TX sojourn
+//! per latency mode) — deterministic numbers ride the ns/pkt field,
+//! so `--compare` reproduces them exactly and drift is a regression.
 //!
 //! If `PS_BASELINE_BEFORE` names an earlier snapshot when `--baseline`
 //! runs, each workload also records `before_ns_per_pkt` and `speedup`
@@ -274,6 +278,10 @@ pub fn run_workloads() -> Vec<Sample> {
     // `staging_bytes_rows` for why they ride the ns_per_pkt field.
     out.extend(staging_bytes_rows(window));
 
+    // Sojourn-tail ledger: p99 RX→TX residence per latency mode, as
+    // deterministic virtual-time rows. See `latency_p99_rows`.
+    out.extend(latency_p99_rows(window));
+
     // Sharded data plane scaling matrix (DESIGN.md §9): one
     // node-local workload under identical offered load at every shard
     // count. See `run_scaling_matrix`.
@@ -335,6 +343,44 @@ fn bytes_sample(id: &str, r: &ps_core::RouterReport) -> Sample {
         ns_per_pkt: bpp,
         pkts_per_sec: 0.0,
     }
+}
+
+/// p99 RX→TX sojourn for IPv4 64 B under the fixed and adaptive
+/// latency profiles at half load (20 Gbps) and near-ceiling load
+/// (40 Gbps), recorded as `latency-p99/ipv4-64B-<load>-<mode>` rows.
+/// Like [`staging_bytes_rows`], the `ns_per_pkt` field carries a
+/// deterministic virtual-time quantity — p99 sojourn in nanoseconds —
+/// so `--compare` reproduces it exactly (ratio 1.0) and any change
+/// that fattens the latency tail trips the tolerance gate like a
+/// wall-clock regression would. The pair of rows per load also pins
+/// the governance claim itself: adaptive stays far below fixed at
+/// half load and converges to it near the ceiling.
+pub fn latency_p99_rows(window: u64) -> Vec<Sample> {
+    use ps_core::LatencyConfig;
+    let mut out = Vec::new();
+    for (load_tag, gbps) in [("half", 20.0), ("full", 40.0)] {
+        for (mode_tag, latency) in [
+            ("fixed", LatencyConfig::off()),
+            ("adaptive", LatencyConfig::adaptive()),
+        ] {
+            let mut cfg = RouterConfig::paper_gpu();
+            cfg.latency = latency;
+            let r = Router::run(
+                cfg,
+                workloads::ipv4_app(50_000, 1),
+                spec(TrafficKind::Ipv4Udp, 64, gbps),
+                window,
+            );
+            out.push(Sample {
+                id: format!("latency-p99/ipv4-64B-{load_tag}-{mode_tag}"),
+                wall_secs: 0.0,
+                pkts: r.delivered.packets,
+                ns_per_pkt: r.sojourn.p99() as f64,
+                pkts_per_sec: 0.0,
+            });
+        }
+    }
+    out
 }
 
 /// The shard counts the scaling matrix measures.

@@ -10,6 +10,7 @@ pub mod io;
 pub mod latency;
 pub mod micro;
 pub mod nfv;
+pub mod overload;
 pub mod staging;
 pub mod trace;
 
@@ -33,5 +34,6 @@ pub fn run_all() {
     ablations::opportunistic();
     staging::run();
     nfv::run();
+    overload::run();
     trace::stage_breakdown();
 }

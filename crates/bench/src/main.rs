@@ -10,6 +10,8 @@
 //! ps-bench ablate-gather ablate-streams ablate-opportunistic
 //! ps-bench ablate-staging                # frames vs SoA vs direct-DMA
 //! ps-bench --ablation direct-dma [o.json]# same sweep + JSON artifact
+//! ps-bench overload                      # latency profiles across the knee
+//! ps-bench --overload [o.json]           # same sweep + JSON artifact
 //! ps-bench trace-breakdown
 //! ps-bench --trace-out t.json fig6   # also dump the virtual-time trace
 //! ps-bench --baseline [out.json]     # record wall-clock ns/pkt snapshot
@@ -111,6 +113,20 @@ fn main() {
         }
         return;
     }
+    // Overload sweep with a JSON artifact: `--overload [out.json]`
+    // runs the load-factor x latency-profile grid (see
+    // experiments::overload) and writes the rows for CI upload.
+    if let Some(i) = args.iter().position(|a| a == "--overload") {
+        let path = args
+            .get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "overload_sweep.json".to_string());
+        if let Err(e) = ex::overload::run_and_write(&path) {
+            eprintln!("ps-bench: overload sweep failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     // Fault-degradation sweep: exclusive mode like the baseline
     // harness (fault plans and trace collectors are orthogonal; the
     // sweep prints its own fault_summary tables).
@@ -140,6 +156,7 @@ fn main() {
         eprintln!("       ps-bench --baseline [out.json] | --compare [base.json]");
         eprintln!("       ps-bench --scaling [out.json]  (shard matrix + ratio gates)");
         eprintln!("       ps-bench --faults <nic|corrupt|pcie|gpu|all>   (degradation sweep)");
+        eprintln!("       ps-bench --overload [out.json]                 (load sweep + artifact)");
         eprintln!(
             "       ps-bench --ablation direct-dma [out.json]      (staging sweep + artifact)"
         );
@@ -147,7 +164,7 @@ fn main() {
         eprintln!("experiments: spec table1 launch fig2 table3 fig5 fig6 numa");
         eprintln!("             fig11a fig11b fig11c fig11d fig12");
         eprintln!("             ablate-gather ablate-streams ablate-opportunistic ablate-staging");
-        eprintln!("             nfv nfv-apps nfv-pressure trace-breakdown all");
+        eprintln!("             nfv nfv-apps nfv-pressure overload trace-breakdown all");
         std::process::exit(2);
     }
     let tracing = trace_out.is_some() || std::env::var("PS_TRACE").is_ok();
@@ -227,6 +244,9 @@ fn dispatch(name: &str) {
         }
         "ablate-staging" => {
             ex::staging::run();
+        }
+        "overload" => {
+            ex::overload::run();
         }
         "trace-breakdown" => {
             ex::trace::stage_breakdown();

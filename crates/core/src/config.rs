@@ -14,6 +14,98 @@ pub enum Mode {
     CpuGpu,
 }
 
+/// Classifies latency-critical flows by their RSS hash: a packet is
+/// priority when `hash & mask == value`. A pure per-packet function
+/// of the flow tuple, so the classification is identical at every
+/// shard count (the parity the sharded scheduler needs) and on every
+/// replica of the generator stream.
+#[derive(Debug, Clone, Copy)]
+pub struct PriorityClass {
+    /// Hash bits examined.
+    pub mask: u32,
+    /// Required value of the examined bits.
+    pub value: u32,
+    /// Fetch cap for the priority lane — deliberately small so
+    /// priority packets never wait behind a bulk-sized batch.
+    pub cap: usize,
+}
+
+impl PriorityClass {
+    /// Mark roughly one flow in `n` (a power of two) as priority,
+    /// with a fetch cap of 8.
+    pub fn one_in(n: u32) -> PriorityClass {
+        assert!(n.is_power_of_two(), "priority fraction must be 2^k");
+        PriorityClass {
+            mask: n - 1,
+            value: 0,
+            cap: 8,
+        }
+    }
+
+    /// Does `hash` fall in the priority class?
+    #[inline]
+    pub fn matches(&self, hash: u32) -> bool {
+        hash & self.mask == self.value
+    }
+}
+
+/// Latency-governance knobs (DESIGN.md §12).
+///
+/// The default ([`LatencyConfig::off`]) disables every mechanism and
+/// leaves the pipeline byte-identical in virtual time to the
+/// pre-governance router — the fingerprint pins in `tests/fastpath.rs`
+/// and `tests/staging.rs` run that mode.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyConfig {
+    /// Adaptive batching: scale each RX fetch's cap with the ring's
+    /// depth and skip the interrupt-moderation floor while the queue
+    /// is shallow. Shallow queue → small batches and eager interrupts
+    /// (latency regime); deep queue → the full 64-packet cap and
+    /// moderated interrupts (throughput regime). Self-stabilizing:
+    /// overload grows the queues, which grows the batches back to the
+    /// paper's operating point.
+    pub adaptive_batch: bool,
+    /// Floor of the adaptive fetch cap.
+    pub min_batch: usize,
+    /// Ring depth per unit of adaptive cap: `cap = depth /
+    /// depth_per_cap`, clamped to `[min_batch, io.batch_cap]`.
+    pub depth_per_cap: usize,
+    /// Priority-lane classifier; [`None`] means no priority lane.
+    pub priority: Option<PriorityClass>,
+}
+
+impl LatencyConfig {
+    /// Everything off: the paper's fixed-cap, moderated pipeline.
+    pub fn off() -> LatencyConfig {
+        LatencyConfig {
+            adaptive_batch: false,
+            min_batch: 4,
+            depth_per_cap: 4,
+            priority: None,
+        }
+    }
+
+    /// Adaptive batching on with the default scaling.
+    pub fn adaptive() -> LatencyConfig {
+        LatencyConfig {
+            adaptive_batch: true,
+            ..LatencyConfig::off()
+        }
+    }
+
+    /// This config with a priority lane for ~one flow in `n`.
+    pub fn with_priority(mut self, n: u32) -> LatencyConfig {
+        self.priority = Some(PriorityClass::one_in(n));
+        self
+    }
+}
+
+impl Default for LatencyConfig {
+    fn default() -> LatencyConfig {
+        LatencyConfig::off()
+    }
+}
+
 /// Full router configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct RouterConfig {
@@ -53,6 +145,9 @@ pub struct RouterConfig {
     /// Fault injection: all-zero chances (the default) arm no plan
     /// and leave the pipeline byte-identical to the fault-free seed.
     pub faults: FaultSpec,
+    /// Latency governance (adaptive batching, priority lanes);
+    /// [`LatencyConfig::off`] by default.
+    pub latency: LatencyConfig,
 }
 
 impl RouterConfig {
@@ -74,6 +169,7 @@ impl RouterConfig {
             gpu_mem_bytes: 128 << 20,
             staging: Staging::Soa,
             faults: FaultSpec::none(),
+            latency: LatencyConfig::off(),
         }
     }
 
@@ -115,6 +211,25 @@ impl RouterConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn priority_class_selects_the_expected_fraction() {
+        let c = PriorityClass::one_in(16);
+        let hits = (0u32..4096).filter(|&h| c.matches(h)).count();
+        assert_eq!(hits, 256);
+        assert!(c.matches(0));
+        assert!(!c.matches(1));
+    }
+
+    #[test]
+    fn latency_defaults_are_off() {
+        let l = LatencyConfig::default();
+        assert!(!l.adaptive_batch);
+        assert!(l.priority.is_none());
+        let a = LatencyConfig::adaptive().with_priority(8);
+        assert!(a.adaptive_batch);
+        assert_eq!(a.priority.unwrap().mask, 7);
+    }
 
     #[test]
     fn presets_match_paper() {

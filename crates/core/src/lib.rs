@@ -36,6 +36,6 @@ pub mod router;
 pub use app::{App, PreShadeResult, ShardAffinity};
 pub use chunk::Chunk;
 pub use columns::{ColumnSet, ColumnSpec, ColumnStage};
-pub use config::{Mode, RouterConfig};
+pub use config::{LatencyConfig, Mode, PriorityClass, RouterConfig};
 pub use ps_gpu::Staging;
 pub use router::{Router, RouterReport};

@@ -120,15 +120,33 @@ impl<A: App> Router<A> {
             }
         }
 
-        // 2. Fetch a new chunk if the pipeline has room.
+        // 2. Fetch a new chunk if the pipeline has room. The priority
+        // ring is strictly first and fetched with its own small cap,
+        // so latency-critical packets never wait behind a bulk batch.
         let can_fetch = match self.cfg.mode {
             Mode::CpuOnly => true,
             Mode::CpuGpu => self.worker(w).outstanding < self.cfg.pipeline_depth,
         };
-        if can_fetch && !self.ring(w).is_empty() {
-            let batch_cap = self.cfg.io.batch_cap;
-            let batch = self.ring_mut(w).pop_batch(batch_cap);
-            ps_io::trace::trace_ring_depth(w as u32, now, self.ring(w).len() as u64);
+        let fetch_prio = can_fetch && !self.prio_ring(w).is_empty();
+        if fetch_prio || (can_fetch && !self.ring(w).is_empty()) {
+            let batch = if fetch_prio {
+                let cap = self
+                    .cfg
+                    .latency
+                    .priority
+                    .map_or(self.cfg.io.batch_cap, |c| c.cap);
+                let b = self.prio_ring_mut(w).pop_batch(cap);
+                ps_io::trace::trace_prio_ring_depth(w as u32, now, self.prio_ring(w).len() as u64);
+                b
+            } else {
+                let cap = self.effective_batch_cap(w);
+                if self.cfg.latency.adaptive_batch {
+                    ps_io::trace::trace_batch_cap(w as u32, now, cap as u64);
+                }
+                let b = self.ring_mut(w).pop_batch(cap);
+                ps_io::trace::trace_ring_depth(w as u32, now, self.ring(w).len() as u64);
+                b
+            };
             self.stats.rx_batches += 1;
             self.stats.rx_packets += batch.len() as u64;
             let n = batch.len() as u64;
@@ -178,8 +196,12 @@ impl<A: App> Router<A> {
 
             let use_cpu = match self.cfg.mode {
                 Mode::CpuOnly => true,
+                // Priority chunks bypass the GPU pipeline entirely:
+                // gather/shade/scatter buys throughput with latency,
+                // which is the wrong trade for the priority lane.
                 Mode::CpuGpu => {
-                    self.cfg.opportunistic && pkts.len() < self.cfg.opportunistic_threshold
+                    fetch_prio
+                        || (self.cfg.opportunistic && pkts.len() < self.cfg.opportunistic_threshold)
                 }
             };
             if use_cpu {
@@ -227,11 +249,25 @@ impl<A: App> Router<A> {
         }
 
         // 4. Nothing to do: arm the interrupt (§5.2).
-        if self.ring(w).is_empty() {
+        if self.ring(w).is_empty() && self.prio_ring(w).is_empty() {
             self.worker_mut(w).idle = true;
         } else {
             // Pipeline full; the master's scatter will wake us.
         }
+    }
+
+    /// The RX fetch cap for this fetch: the configured cap, or — in
+    /// adaptive mode — scaled with the ring's current depth so
+    /// shallow queues take small, low-latency batches while deep
+    /// queues grow back to the paper's 64-packet cap (§4.3's "the
+    /// chunk size is not fixed but only capped", made load-aware).
+    fn effective_batch_cap(&self, w: usize) -> usize {
+        let lat = &self.cfg.latency;
+        if !lat.adaptive_batch {
+            return self.cfg.io.batch_cap;
+        }
+        let cap = self.cfg.io.batch_cap;
+        (self.ring(w).len() / lat.depth_per_cap.max(1)).clamp(lat.min_batch.min(cap), cap)
     }
 
     /// Post-shade + TX a finished chunk on worker `w`.
@@ -290,6 +326,17 @@ impl<A: App> Router<A> {
                 // crossings one way keeps delivery order independent
                 // of the hosting). Sequentially it takes the heap.
                 let at = t2 + qpi;
+                if at > self.stop_at {
+                    // Past the run horizon: a sequential run would
+                    // never dispatch this arrival (`run_until` stops
+                    // at the deadline) and a windowed run discards it
+                    // at the barrier — ledger it at the source in
+                    // both, so the drop ledger is byte-identical at
+                    // every shard count.
+                    self.stats.drops.far_future += 1;
+                    self.reclaim_buf(p.data);
+                    continue;
+                }
                 if self.cross_windowed {
                     self.pending_cross.push(CrossTx {
                         src: src_node,
@@ -363,6 +410,16 @@ impl<A: App> Model for Router<A> {
                 let now = sched.now();
                 if now >= self.measure_from {
                     self.sink.deliver(now, &pkt);
+                    // Per-packet sojourn: RX DMA completion to last
+                    // TX bit on the wire — the residence time queues
+                    // and batching govern (gen-to-TX RTT additionally
+                    // includes wire serialization and NIC admission
+                    // wait; the sink keeps that one).
+                    let sojourn = now.saturating_sub(pkt.arrival);
+                    self.stats.sojourn.record(sojourn);
+                    if pkt.priority {
+                        self.stats.prio_sojourn.record(sojourn);
+                    }
                 }
                 let p = self.event_unbox(pkt);
                 if p.corrupted {

@@ -237,6 +237,25 @@ impl<A: App> Router<A> {
         &mut self.nodes[w / per].rings[w % per]
     }
 
+    fn prio_ring(&self, w: usize) -> &Ring<Packet> {
+        &self.nodes[w / self.cfg.workers_per_node].prio_rings[w % self.cfg.workers_per_node]
+    }
+
+    fn prio_ring_mut(&mut self, w: usize) -> &mut Ring<Packet> {
+        let per = self.cfg.workers_per_node;
+        &mut self.nodes[w / per].prio_rings[w % per]
+    }
+
+    /// Scheduler FIFO lane for node `node`'s *priority* RX
+    /// completions. Priority completions are a subsequence of the
+    /// node IOH's (nondecreasing) d2h completion stream, so each
+    /// class keeps the lane contract on its own lane. Lanes sit just
+    /// past the Gen lane: `0..nodes` are per-node bulk RX,
+    /// `nodes..nodes+ports` per-port TX, `nodes+ports` the Gen chain.
+    fn prio_rx_lane(&self, node: usize) -> usize {
+        self.cfg.nodes + self.cfg.ports as usize + 1 + node
+    }
+
     fn master_mut(&mut self, node: usize) -> &mut MasterState {
         &mut self.nodes[node].master
     }

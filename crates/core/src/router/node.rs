@@ -61,6 +61,11 @@ pub(crate) struct NodeShard {
     pub master: MasterState,
     /// Per-worker RX rings (RSS queues), parallel to `workers`.
     pub rings: Vec<Ring<Packet>>,
+    /// Per-worker priority RX rings, parallel to `rings`. Packets the
+    /// priority classifier marks land here and are fetched ahead of
+    /// bulk traffic with a small cap; empty forever when no
+    /// classifier is configured.
+    pub prio_rings: Vec<Ring<Packet>>,
 }
 
 impl NodeShard {
@@ -102,6 +107,9 @@ impl NodeShard {
         let rings = (0..cfg.workers_per_node)
             .map(|_| Ring::new(cfg.io.ring_entries))
             .collect();
+        let prio_rings = (0..cfg.workers_per_node)
+            .map(|_| Ring::new(cfg.io.ring_entries))
+            .collect();
         NodeShard {
             ports,
             ioh,
@@ -109,6 +117,7 @@ impl NodeShard {
             workers,
             master,
             rings,
+            prio_rings,
         }
     }
 }

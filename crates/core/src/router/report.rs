@@ -1,6 +1,7 @@
 //! [`RouterReport`]: the public result of one router run.
 
 use ps_fault::FaultStats;
+use ps_pktgen::DropLedger;
 use ps_sim::stats::{Histogram, PacketCounter, ETHERNET_OVERHEAD_BYTES};
 use ps_sim::time::Time;
 
@@ -15,6 +16,25 @@ pub struct RouterReport {
     pub delivered: PacketCounter,
     /// Round-trip latency (ns).
     pub latency: Histogram,
+    /// Round-trip latency of priority-lane packets only (ns); empty
+    /// without a priority classifier.
+    pub prio_latency: Histogram,
+    /// Per-packet RX→TX sojourn (ns): RX DMA completion to last TX
+    /// bit on the wire — the residence time queue depths and batching
+    /// govern. Merged bucket-wise across shards, so `p99()`/`p999()`
+    /// over the merged histogram equal a sequential run's exactly.
+    pub sojourn: Histogram,
+    /// Sojourn of priority-lane packets only (ns).
+    pub prio_sojourn: Histogram,
+    /// Every drop decomposed by cause (generator-side backpressure
+    /// and far-future discards; NIC-side admission, fault and
+    /// ring-tail drops). `drops.nic_side() == rx_drops` always;
+    /// gen-side causes are extra (those packets never hit the wire).
+    pub drops: DropLedger,
+    /// Deepest RX-ring occupancy any worker ring reached — the
+    /// queue-growth gauge (a peak at ring capacity means the run was
+    /// admission-limited).
+    pub peak_ring_depth: usize,
     /// RX-ring tail drops.
     pub rx_drops: u64,
     /// Packets dropped by the application (no route, TTL, checksum).

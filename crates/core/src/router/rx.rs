@@ -8,6 +8,7 @@ use ps_hw::ioh::Direction;
 use ps_hw::numa::Placement;
 use ps_io::{dma_bytes, Packet};
 use ps_nic::port::PortId;
+use ps_pktgen::LoadMode;
 use ps_sim::time::Time;
 use ps_sim::{Scheduler, MICROS};
 
@@ -63,6 +64,34 @@ impl<A: App> Router<A> {
                 self.stats.offered.add(meta.len as u64);
             }
 
+            // Closed-loop source throttle: the target RX ring reports
+            // its occupancy upward; at or above the watermark the
+            // source consumes the paced slot but drops at the
+            // generator — the frame is never built and touches
+            // neither the wire nor the fabric. Ring state at this
+            // instant is deterministic (every earlier event has been
+            // dispatched), and for hosted packets it is shard-local,
+            // so the verdict is identical at every shard count.
+            if let LoadMode::ClosedLoop { high_watermark } = self.gen.spec().load {
+                let w = self.worker_for_hash(meta.rss_hash(), meta.port);
+                if self.ring(w).len() >= high_watermark as usize {
+                    self.stats.drops.backpressure += 1;
+                    let next = self.gen_peek_next();
+                    if next >= self.stop_at {
+                        return;
+                    }
+                    // Same drain shortcut as the NIC-drop path below:
+                    // the verdict reads ring state too, but only when
+                    // the next arrival strictly precedes every pending
+                    // event — nothing can mutate a ring in between.
+                    if !self.cross_windowed && sched.peek_time().is_none_or(|t| next < t) {
+                        continue;
+                    }
+                    self.schedule_gen(sched, next);
+                    return;
+                }
+            }
+
             // Wire serialization into the NIC, then RX DMA through the
             // node's IOH into the huge packet buffer. The frame itself
             // is built only if the NIC admits it.
@@ -109,6 +138,15 @@ impl<A: App> Router<A> {
                 break (meta, node, wire_done);
             }
             self.stats.nic_drops += 1;
+            // Ledger the cause separately — injected faults and
+            // descriptor starvation share the NIC-drop total (which
+            // keeps `rx_drops` pins intact) but not a ledger counter,
+            // so fault invariants stay decomposable per cause.
+            if faulted {
+                self.stats.drops.nic_fault += 1;
+            } else {
+                self.stats.drops.nic_admission += 1;
+            }
             let next = self.gen_peek_next();
             if next >= self.stop_at {
                 return;
@@ -152,10 +190,15 @@ impl<A: App> Router<A> {
         // The NIC hashes the tuple it is already holding; parsing it
         // back out of the frame bytes would give the same value
         // (pinned by `meta_hash_matches_frame_parse`).
-        let worker = self.worker_for_hash(meta.rss_hash(), meta.port);
+        let hash = meta.rss_hash();
+        let worker = self.worker_for_hash(hash, meta.port);
         let buf = self.free_bufs.pop().unwrap_or_default();
         let mut p = self.gen.materialize_into(&meta, buf);
         p.arrival = dma_done;
+        // Priority classification: a pure function of the RSS hash,
+        // so the lane a flow takes is identical on every shard.
+        let prio = self.cfg.latency.priority.is_some_and(|c| c.matches(hash));
+        p.priority = prio;
         // On-the-wire corruption: the frame was admitted and DMA'd,
         // but its bytes arrive damaged. The flag lets every later
         // drop or delivery settle against the fault ledger.
@@ -178,8 +221,11 @@ impl<A: App> Router<A> {
         } else {
             // Local-only RX completions come out of the node IOH's
             // bandwidth server in nondecreasing order: a FIFO lane
-            // spares the heap.
-            sched.at_fifo(node, dma_done, ev);
+            // spares the heap. Priority completions are a subsequence
+            // of that same monotone stream, so they keep the lane
+            // contract on their own dedicated lane.
+            let lane = if prio { self.prio_rx_lane(node) } else { node };
+            sched.at_fifo(lane, dma_done, ev);
         }
 
         // Next arrival (open loop) until the generation window ends.
@@ -218,7 +264,13 @@ impl<A: App> Router<A> {
     ) {
         let now = sched.now();
         let pkt = self.event_unbox(pkt);
-        if let Err(p) = self.ring_mut(worker).push(pkt) {
+        let prio = pkt.priority;
+        let ring = if prio {
+            self.prio_ring_mut(worker)
+        } else {
+            self.ring_mut(worker)
+        };
+        if let Err(p) = ring.push(pkt) {
             if p.corrupted {
                 if let Some(plan) = self.plan.as_mut() {
                     plan.note_corrupt_dropped(1);
@@ -227,13 +279,34 @@ impl<A: App> Router<A> {
             self.reclaim_buf(p.data);
             return; // tail drop, counted by the ring
         }
-        ps_io::trace::trace_ring_depth(worker as u32, now, self.ring(worker).len() as u64);
+        if prio {
+            ps_io::trace::trace_prio_ring_depth(
+                worker as u32,
+                now,
+                self.prio_ring(worker).len() as u64,
+            );
+        } else {
+            ps_io::trace::trace_ring_depth(worker as u32, now, self.ring(worker).len() as u64);
+        }
         if self.worker(worker).idle {
-            // Fire the (moderated) RX interrupt.
+            // Fire the RX interrupt. Moderation holds the wake back to
+            // one interrupt per moderation window — the throughput
+            // regime. Priority arrivals always fire eagerly; adaptive
+            // mode also fires eagerly while the queue is shallow (the
+            // latency regime) and falls back to moderation once depth
+            // reaches the bulk batch cap, where batching amortizes
+            // the per-wake overhead anyway.
             let moderation = self.cfg.testbed.nic.interrupt_moderation_ns;
+            let eager = prio
+                || (self.cfg.latency.adaptive_batch
+                    && self.ring(worker).len() < self.cfg.io.batch_cap);
             let w = self.worker_mut(worker);
             w.idle = false;
-            let t = (now + INT_LATENCY).max(w.last_int + moderation);
+            let t = if eager {
+                now + INT_LATENCY
+            } else {
+                (now + INT_LATENCY).max(w.last_int + moderation)
+            };
             w.last_int = t;
             self.wake_worker(sched, worker, t);
         }

@@ -6,6 +6,7 @@
 //! per-shard virtual-time results, independent of thread timing.
 
 use ps_fault::FaultStats;
+use ps_pktgen::DropLedger;
 use ps_sim::stats::{Histogram, PacketCounter};
 use ps_sim::time::Time;
 
@@ -35,6 +36,15 @@ pub(crate) struct RunStats {
     pub rx_batches: u64,
     /// Packets across all RX fetches.
     pub rx_packets: u64,
+    /// Decomposed drop causes. `ring_tail` stays zero here (rings
+    /// count their own tail drops); the report fills it in. The
+    /// NIC-side counters satisfy `nic_fault + nic_admission ==
+    /// nic_drops` by construction.
+    pub drops: DropLedger,
+    /// Per-packet RX→TX sojourn (RX DMA completion to last TX bit).
+    pub sojourn: Histogram,
+    /// Sojourn of priority-lane packets only.
+    pub prio_sojourn: Histogram,
 }
 
 fn mean(packets: u64, batches: u64) -> f64 {
@@ -51,14 +61,35 @@ impl<A: App> Router<A> {
         let ring_drops: u64 = self
             .nodes
             .iter()
-            .flat_map(|n| n.rings.iter())
+            .flat_map(|n| n.rings.iter().chain(n.prio_rings.iter()))
             .map(|r| r.drops)
             .sum();
+        let peak_ring_depth = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.rings.iter().chain(n.prio_rings.iter()))
+            .map(|r| r.peak)
+            .max()
+            .unwrap_or(0);
+        debug_assert_eq!(
+            self.stats.drops.nic_fault + self.stats.drops.nic_admission,
+            self.stats.nic_drops,
+            "NIC ledger counters must decompose the NIC-drop total"
+        );
+        let drops = DropLedger {
+            ring_tail: ring_drops,
+            ..self.stats.drops
+        };
         RouterReport {
             window,
             offered: self.stats.offered,
             delivered: self.sink.delivered,
             latency: self.sink.latency.clone(),
+            prio_latency: self.sink.prio_latency.clone(),
+            sojourn: self.stats.sojourn.clone(),
+            prio_sojourn: self.stats.prio_sojourn.clone(),
+            drops,
+            peak_ring_depth,
             rx_drops: self.stats.nic_drops + ring_drops,
             app_drops: self.stats.app_drops,
             slow_path: self.stats.slow_path,
@@ -103,6 +134,11 @@ pub(crate) fn merged_report<A: App>(shards: &[Router<A>], window: Time) -> Route
     let mut offered = PacketCounter::default();
     let mut delivered = PacketCounter::default();
     let mut latency = Histogram::new();
+    let mut prio_latency = Histogram::new();
+    let mut sojourn = Histogram::new();
+    let mut prio_sojourn = Histogram::new();
+    let mut drops = DropLedger::default();
+    let mut peak_ring_depth = 0usize;
     let mut nic_drops = 0u64;
     let mut ring_drops = 0u64;
     let mut app_drops = 0u64;
@@ -118,13 +154,29 @@ pub(crate) fn merged_report<A: App>(shards: &[Router<A>], window: Time) -> Route
         offered.merge(&s.stats.offered);
         delivered.merge(&s.sink.delivered);
         latency.merge(&s.sink.latency);
+        prio_latency.merge(&s.sink.prio_latency);
+        sojourn.merge(&s.stats.sojourn);
+        prio_sojourn.merge(&s.stats.prio_sojourn);
         nic_drops += s.stats.nic_drops;
-        ring_drops += s
+        let shard_ring_drops = s
             .nodes
             .iter()
-            .flat_map(|n| n.rings.iter())
+            .flat_map(|n| n.rings.iter().chain(n.prio_rings.iter()))
             .map(|r| r.drops)
             .sum::<u64>();
+        ring_drops += shard_ring_drops;
+        drops.merge(&DropLedger {
+            ring_tail: shard_ring_drops,
+            ..s.stats.drops
+        });
+        peak_ring_depth = peak_ring_depth.max(
+            s.nodes
+                .iter()
+                .flat_map(|n| n.rings.iter().chain(n.prio_rings.iter()))
+                .map(|r| r.peak)
+                .max()
+                .unwrap_or(0),
+        );
         app_drops += s.stats.app_drops;
         slow_path += s.stats.slow_path;
         gpu_kernels += s
@@ -155,6 +207,11 @@ pub(crate) fn merged_report<A: App>(shards: &[Router<A>], window: Time) -> Route
         offered,
         delivered,
         latency,
+        prio_latency,
+        sojourn,
+        prio_sojourn,
+        drops,
+        peak_ring_depth,
         rx_drops: nic_drops + ring_drops,
         app_drops,
         slow_path,

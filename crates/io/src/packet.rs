@@ -27,6 +27,11 @@ pub struct Packet {
     /// router attributes this packet's eventual drop or delivery back
     /// to the fault ledger. Invisible to the applications.
     pub corrupted: bool,
+    /// Latency-critical flow (matched by the priority classifier at
+    /// admission). Priority packets ride a dedicated RX lane and
+    /// bypass bulk batching; `false` whenever no classifier is
+    /// configured.
+    pub priority: bool,
 }
 
 impl Packet {
@@ -41,6 +46,7 @@ impl Packet {
             id,
             out_port: None,
             corrupted: false,
+            priority: false,
         }
     }
 

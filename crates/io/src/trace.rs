@@ -35,6 +35,19 @@ pub fn trace_ring_depth(lane: u32, now: Time, depth: u64) {
     counter(Category::Io, "ring_depth", lane, now, depth);
 }
 
+/// Sample the *priority* RX ring occupancy for worker `lane` at
+/// `now`. Only emitted when a priority classifier is configured.
+pub fn trace_prio_ring_depth(lane: u32, now: Time, depth: u64) {
+    counter(Category::Io, "prio_ring_depth", lane, now, depth);
+}
+
+/// Sample the effective (adaptive) RX fetch cap worker `lane` used at
+/// `now`. Only emitted in adaptive-batching mode, so default-mode
+/// trace dumps stay byte-identical.
+pub fn trace_batch_cap(lane: u32, now: Time, cap: u64) {
+    counter(Category::Io, "batch_cap", lane, now, cap);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

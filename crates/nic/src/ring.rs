@@ -13,6 +13,10 @@ pub struct Ring<T> {
     pub drops: u64,
     /// Total packets ever accepted.
     pub accepted: u64,
+    /// Deepest occupancy ever reached — the queue-growth gauge the
+    /// overload experiments report (a full ring at peak means the
+    /// run was admission-limited, not service-limited).
+    pub peak: usize,
 }
 
 impl<T> Ring<T> {
@@ -24,6 +28,7 @@ impl<T> Ring<T> {
             capacity,
             drops: 0,
             accepted: 0,
+            peak: 0,
         }
     }
 
@@ -61,6 +66,7 @@ impl<T> Ring<T> {
         }
         self.accepted += 1;
         self.items.push_back(item);
+        self.peak = self.peak.max(self.items.len());
         Ok(())
     }
 
@@ -128,6 +134,18 @@ mod tests {
         }
         assert_eq!(r.pop_batch(4), vec![0, 1, 2, 3]);
         assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn peak_tracks_deepest_occupancy() {
+        let mut r = Ring::new(8);
+        for i in 0..5 {
+            r.push(i).unwrap();
+        }
+        r.pop_batch(4);
+        r.push(9).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.peak, 5);
     }
 
     #[test]

@@ -62,6 +62,81 @@ pub enum FlowModel {
     },
 }
 
+/// How the source responds to downstream pressure.
+///
+/// The paper's generator is strictly open loop; the overload
+/// experiments need both: open loop to push offered load past the
+/// router's ceiling, closed loop to model a source that listens to
+/// NIC-ring occupancy and throttles instead of flooding a full queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadMode {
+    /// Offer the paced schedule unconditionally, even past the
+    /// ceiling — queues grow and the NIC drops (the paper's mode).
+    #[default]
+    OpenLoop,
+    /// NIC rings report occupancy upward: when a packet's target RX
+    /// ring sits at or above the watermark, the source consumes the
+    /// paced slot but drops the frame at the generator (ledgered as
+    /// `backpressure` in [`DropLedger`]) — it never touches the wire,
+    /// so queues stay bounded near the watermark.
+    ClosedLoop {
+        /// Ring-occupancy high watermark, in descriptors.
+        high_watermark: u32,
+    },
+}
+
+/// Where every non-delivered packet went, decomposed by cause. The
+/// seam this fixes: generator-side drops (source throttling, arrivals
+/// past the run horizon) and NIC-side drops (descriptor starvation,
+/// injected faults, RX-ring tail drops) used to share counters, which
+/// made `injected == handled + dropped`-style invariants impossible
+/// to check per cause. Counters are disjoint; sums are exact.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DropLedger {
+    /// Dropped at the source by closed-loop backpressure
+    /// ([`LoadMode::ClosedLoop`]); the frame was never built.
+    pub backpressure: u64,
+    /// Dropped at the source because the packet could only complete
+    /// past the run horizon (the far-future flood guard; only
+    /// QPI-crossing traffic can land here).
+    pub far_future: u64,
+    /// Dropped in the NIC FIFO: descriptor starvation (the inbound
+    /// DMA backlog exceeded the posted-descriptor horizon).
+    pub nic_admission: u64,
+    /// Dropped at the MAC by an injected NIC fault (link-flap window
+    /// or starvation burst) — reconciles against the fault ledger.
+    pub nic_fault: u64,
+    /// Tail-dropped from a full RX descriptor ring.
+    pub ring_tail: u64,
+}
+
+impl DropLedger {
+    /// Drops charged to the generator side of the seam.
+    pub fn gen_side(&self) -> u64 {
+        self.backpressure + self.far_future
+    }
+
+    /// Drops charged to the NIC side of the seam.
+    pub fn nic_side(&self) -> u64 {
+        self.nic_admission + self.nic_fault + self.ring_tail
+    }
+
+    /// All drops, every cause.
+    pub fn total(&self) -> u64 {
+        self.gen_side() + self.nic_side()
+    }
+
+    /// Fold another ledger into this one (commutative sums, so the
+    /// sharded data plane can merge per-shard ledgers exactly).
+    pub fn merge(&mut self, other: &DropLedger) {
+        self.backpressure += other.backpressure;
+        self.far_future += other.far_future;
+        self.nic_admission += other.nic_admission;
+        self.nic_fault += other.nic_fault;
+        self.ring_tail += other.ring_tail;
+    }
+}
+
 /// The Simple IMIX frame lengths (bytes, no FCS).
 pub const IMIX_LENS: [usize; 3] = [64, 594, 1518];
 
@@ -94,6 +169,9 @@ pub struct TrafficSpec {
     pub mix: FrameMix,
     /// Flow-size model for keyed traffic.
     pub model: FlowModel,
+    /// Open- or closed-loop response to downstream pressure
+    /// ([`LoadMode::OpenLoop`] reproduces the paper).
+    pub load: LoadMode,
 }
 
 impl Default for TrafficSpec {
@@ -109,6 +187,7 @@ impl Default for TrafficSpec {
             flows: None,
             mix: FrameMix::Fixed,
             model: FlowModel::Uniform,
+            load: LoadMode::OpenLoop,
         }
     }
 }
@@ -138,6 +217,22 @@ impl TrafficSpec {
     pub fn with_heavy_tail(mut self, flows: u32, exponent: u32) -> TrafficSpec {
         self.flows = Some(flows);
         self.model = FlowModel::HeavyTail { exponent };
+        self
+    }
+
+    /// This spec with its offered load scaled by `factor` — the
+    /// overload sweep's "load factor × measured ceiling" helper.
+    /// Factors ≤ 0 are clamped to one bit/s (the generator needs a
+    /// positive rate).
+    pub fn scaled(mut self, factor: f64) -> TrafficSpec {
+        self.offered_bits = ((self.offered_bits as f64 * factor).round() as u64).max(1);
+        self
+    }
+
+    /// This spec in closed-loop mode with the given ring-occupancy
+    /// high watermark.
+    pub fn closed_loop(mut self, high_watermark: u32) -> TrafficSpec {
+        self.load = LoadMode::ClosedLoop { high_watermark };
         self
     }
 }
@@ -589,6 +684,9 @@ pub struct Sink {
     pub delivered: PacketCounter,
     /// Round-trip latency histogram (ns).
     pub latency: Histogram,
+    /// Round-trip latency of priority-lane packets only (ns); empty
+    /// unless a priority classifier is configured.
+    pub prio_latency: Histogram,
     /// Packets that came back out of order within a flow probe.
     pub last_id_seen: Option<u64>,
     /// Count of id inversions observed (order violations across the
@@ -613,6 +711,9 @@ impl Sink {
     pub fn deliver(&mut self, now: Time, p: &Packet) {
         self.delivered.add(p.len() as u64);
         self.latency.record(now.saturating_sub(p.gen_ts));
+        if p.priority {
+            self.prio_latency.record(now.saturating_sub(p.gen_ts));
+        }
         if let Some(last) = self.last_id_seen {
             if p.id < last {
                 self.inversions += 1;
@@ -853,6 +954,51 @@ mod tests {
             assert_eq!(a, b);
             assert!(a < 1 << 20);
         }
+    }
+
+    #[test]
+    fn drop_ledger_sides_are_disjoint_and_sum() {
+        let mut a = DropLedger {
+            backpressure: 5,
+            far_future: 2,
+            nic_admission: 11,
+            nic_fault: 3,
+            ring_tail: 1,
+        };
+        assert_eq!(a.gen_side(), 7);
+        assert_eq!(a.nic_side(), 15);
+        assert_eq!(a.total(), 22);
+        let b = DropLedger {
+            backpressure: 1,
+            ..DropLedger::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.backpressure, 6);
+        assert_eq!(a.total(), 23);
+    }
+
+    #[test]
+    fn scaled_spec_scales_pacing() {
+        let base = TrafficSpec::ipv4_64b(10.0, 1);
+        let mut half = Generator::new(base.scaled(0.5));
+        let mut full = Generator::new(base);
+        let (h, f) = (half.packets_until(MILLIS), full.packets_until(MILLIS));
+        let ratio = h.len() as f64 / f.len() as f64;
+        assert!((0.49..0.51).contains(&ratio), "ratio={ratio}");
+        // Degenerate factors stay constructible.
+        let _ = Generator::new(base.scaled(0.0));
+    }
+
+    #[test]
+    fn closed_loop_builder_sets_the_watermark() {
+        let spec = TrafficSpec::ipv4_64b(10.0, 1).closed_loop(768);
+        assert_eq!(
+            spec.load,
+            LoadMode::ClosedLoop {
+                high_watermark: 768
+            }
+        );
+        assert_eq!(TrafficSpec::default().load, LoadMode::OpenLoop);
     }
 
     #[test]

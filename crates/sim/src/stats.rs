@@ -212,6 +212,14 @@ impl Histogram {
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
+
+    /// 99.9th percentile shortcut — the tail the overload experiments
+    /// gate on. Bucket resolution (~9%) is the same as [`Self::p99`];
+    /// by construction `p999() >= p99()` (quantile targets are
+    /// monotone in `q` over a fixed bucket walk).
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
 }
 
 /// Samples a metric at fixed virtual-time intervals, producing the

@@ -240,19 +240,29 @@ impl TraceSummary {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<12} {:<12} {:>9} {:>12} {:>9} {:>9} {:>9}",
-            "category", "span", "count", "total_us", "p50_ns", "p99_ns", "mean_ns"
+            "{:<12} {:<12} {:>9} {:>12} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "category",
+            "span",
+            "count",
+            "total_us",
+            "p50_ns",
+            "p99_ns",
+            "p999_ns",
+            "max_ns",
+            "mean_ns"
         );
         for s in &self.stages {
             let _ = writeln!(
                 out,
-                "{:<12} {:<12} {:>9} {:>12.1} {:>9} {:>9} {:>9.0}",
+                "{:<12} {:<12} {:>9} {:>12.1} {:>9} {:>9} {:>9} {:>9} {:>9.0}",
                 s.cat.name(),
                 s.name,
                 s.count,
                 s.total_ns as f64 / 1e3,
                 s.hist.p50(),
                 s.hist.p99(),
+                s.hist.p999(),
+                s.hist.max(),
                 s.hist.mean()
             );
         }
@@ -388,6 +398,8 @@ mod tests {
     fn render_contains_every_section() {
         let s = summarize_collector(&collector_with_sample(), 10_000);
         let text = s.render();
+        assert!(text.contains("p999_ns"));
+        assert!(text.contains("max_ns"));
         assert!(text.contains("pre_shade"));
         assert!(text.contains("ring_depth"));
         assert!(text.contains("ioh.d2h"));
